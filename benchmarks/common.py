@@ -1,0 +1,60 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one claim from DESIGN.md's experiment index
+(E1–E14). The measured series are written to ``benchmarks/results/`` so
+EXPERIMENTS.md can cite them, and asserted on *shape* (who wins, rough
+factors) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    """Persist a claim table under benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"\n[{name}]")
+    print(text)
+    return path
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:
+    """Fixed-width text table."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    out = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        out.append("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+    return out
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture.
+
+    The claim computations are deterministic-ish and moderately heavy, so
+    one timed round is both sufficient and what keeps the suite fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

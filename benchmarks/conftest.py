@@ -1,0 +1,27 @@
+"""Benchmark fixtures shared across experiments."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import numpy as np
+import pytest
+
+from repro.workloads import generate_ssb, generate_tpch
+
+
+@pytest.fixture(scope="session")
+def tpch():
+    """TPC-H-lite big enough that block sampling pays off."""
+    return generate_tpch(scale=5.0, seed=17, block_size=512)
+
+
+@pytest.fixture(scope="session")
+def ssb():
+    return generate_ssb(scale=2.0, seed=17, block_size=512)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,111 @@
+"""Telemetry pipeline on sketches: the queries sampling cannot answer.
+
+A stream of page-view events is summarized into a few KB of sketches —
+distinct users (HLL/KMV), top pages (SpaceSaving), per-page counts
+(Count-Min), and latency percentiles (Greenwald–Khanna) — then queried
+without ever touching the raw events again. Each of these is an aggregate
+class where row sampling either fails outright (COUNT DISTINCT, MAX-ish
+tail percentiles) or wastes memory, the specialization half of the
+"no silver bullet" argument.
+
+Run:  python examples/telemetry_sketches.py
+"""
+
+import numpy as np
+
+from repro.sketches import (
+    CountMinSketch,
+    GKQuantileSketch,
+    HyperLogLog,
+    KMVSketch,
+    SpaceSaving,
+)
+from repro.sketches.hyperloglog import sample_based_distinct_estimate
+
+SEED = 11
+EVENTS = 800_000
+USERS = 120_000
+PAGES = 5_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    # Zipf page popularity, heavy-tailed latencies, uniform-ish users.
+    ranks = np.arange(1, PAGES + 1, dtype=np.float64)
+    page_probs = ranks**-1.2
+    page_probs /= page_probs.sum()
+    pages = rng.choice(PAGES, EVENTS, p=page_probs)
+    users = rng.integers(0, USERS, EVENTS)
+    users[:USERS] = np.arange(USERS)  # every user appears at least once
+    latencies = rng.lognormal(4.0, 0.9, EVENTS)
+
+    print(f"ingesting {EVENTS:,} events into sketches...")
+    hll = HyperLogLog(precision=12, seed=1)
+    kmv_today = KMVSketch(k=2048, seed=2)
+    kmv_yesterday = KMVSketch(k=2048, seed=2)
+    top_pages = SpaceSaving(capacity=200)
+    page_counts = CountMinSketch(epsilon=0.0005, delta=0.01, seed=3)
+    latency_q = GKQuantileSketch(epsilon=0.005)
+
+    half = EVENTS // 2
+    hll.add(users)
+    kmv_yesterday.add(users[:half])
+    kmv_today.add(users[half:])
+    top_pages.add(pages.tolist())
+    page_counts.add(pages)
+    latency_q.add(latencies[:100_000])  # GK ingest is per-item; sample the stream
+
+    total_bytes = (
+        hll.memory_bytes()
+        + kmv_today.memory_bytes()
+        + kmv_yesterday.memory_bytes()
+        + page_counts.memory_bytes()
+    )
+    print(f"sketch state: ~{total_bytes / 1024:.0f} KiB "
+          f"(raw events would be ~{EVENTS * 24 / 2**20:.0f} MiB)\n")
+
+    # --- distinct users ------------------------------------------------
+    true_users = len(np.unique(users))
+    print("distinct users")
+    print(f"  truth:                    {true_users:,}")
+    print(f"  HyperLogLog (4 KiB):      {hll.estimate():,.0f} "
+          f"({abs(hll.estimate() - true_users) / true_users:.2%} error)")
+    sample = users[rng.random(EVENTS) < 0.01]
+    bad = sample_based_distinct_estimate(sample, 0.01, EVENTS)
+    print(f"  1% row sample (naive):    {bad:,.0f} "
+          f"({abs(bad - true_users) / true_users:.1%} error) <- sampling fails")
+
+    # --- set operations across days -------------------------------------
+    both = kmv_today.intersection_estimate(kmv_yesterday)
+    print("\nreturning users (KMV set intersection)")
+    true_both = len(
+        np.intersect1d(np.unique(users[:half]), np.unique(users[half:]))
+    )
+    print(f"  truth: {true_both:,}   estimate: {both:,.0f} "
+          f"({abs(both - true_both) / true_both:.2%} error)")
+
+    # --- top pages -------------------------------------------------------
+    print("\ntop pages (SpaceSaving, guaranteed complete above 0.5%)")
+    true_counts = np.bincount(pages, minlength=PAGES)
+    for page, count in top_pages.top_k(5):
+        print(f"  page {page:>5}: est {count:>8,}   true {true_counts[page]:>8,}")
+
+    # --- point frequency ---------------------------------------------------
+    probe = 3
+    print(f"\nviews of page {probe} (Count-Min, one-sided error ≤ "
+          f"{page_counts.error_bound:,.0f})")
+    print(f"  est {page_counts.query_one(probe):,}   true {true_counts[probe]:,}")
+
+    # --- latency percentiles -------------------------------------------------
+    print("\nlatency percentiles (Greenwald–Khanna on a 100k-event window)")
+    window = latencies[:100_000]
+    for phi in (0.5, 0.9, 0.99):
+        est = latency_q.query(phi)
+        true = float(np.quantile(window, phi))
+        print(f"  p{int(phi * 100):>2}: est {est:8.1f} ms   true {true:8.1f} ms")
+    print(f"  sketch entries: {latency_q.memory_entries()} "
+          f"(vs 100,000 raw values)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — an approximate query processing (AQP) toolkit.
+
+A from-scratch reproduction of the landscape surveyed in "Approximate
+Query Processing: No Silver Bullet" (Chaudhuri, Ding, Kandula; SIGMOD
+2017): an in-memory SQL engine substrate, the full family of sampling
+schemes and synopses the paper discusses, offline and online approximate
+planners, and a technique advisor that operationalizes the paper's
+generality / guarantee / speedup trade-off.
+
+Quick start::
+
+    import numpy as np
+    from repro import Database, ErrorSpec
+
+    db = Database()
+    db.create_table("sales", {"price": np.random.exponential(100, 10**6),
+                              "region": np.random.choice(list("ABCD"), 10**6)})
+    result = db.sql(
+        "SELECT region, SUM(price) AS total FROM sales "
+        "GROUP BY region ERROR WITHIN 5% CONFIDENCE 95%"
+    )
+    print(result.summary())
+"""
+
+from .core.errorspec import ErrorSpec
+from .core.exceptions import (
+    BindError,
+    ErrorSpecError,
+    InfeasiblePlanError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SQLError,
+    SQLSyntaxError,
+    SynopsisError,
+    UnsupportedQueryError,
+)
+from .core.result import ApproximateResult, QueryResult
+from .core.session import AQPEngine
+from .core.tradeoff import (
+    TECHNIQUE_PROFILES,
+    comparison_matrix,
+    format_matrix,
+    no_silver_bullet,
+)
+from .engine.database import Database
+from .engine.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AQPEngine",
+    "ApproximateResult",
+    "BindError",
+    "Database",
+    "ErrorSpec",
+    "ErrorSpecError",
+    "InfeasiblePlanError",
+    "PlanError",
+    "QueryResult",
+    "ReproError",
+    "SQLError",
+    "SQLSyntaxError",
+    "SchemaError",
+    "SynopsisError",
+    "Table",
+    "TECHNIQUE_PROFILES",
+    "UnsupportedQueryError",
+    "comparison_matrix",
+    "format_matrix",
+    "no_silver_bullet",
+    "__version__",
+]

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs SQL (exact or approximate) against a generated benchmark database or
+CSV files, printing results and — for approximate runs — the guarantee
+diagnostics. Intended as the smallest possible end-to-end demo surface:
+
+.. code-block:: bash
+
+    # one-shot query against generated TPC-H-lite
+    python -m repro --demo tpch --scale 2 \\
+        "SELECT l_shipmode, SUM(l_extendedprice) AS rev FROM lineitem \\
+         GROUP BY l_shipmode ERROR WITHIN 5% CONFIDENCE 95%"
+
+    # interactive session over CSV files
+    python -m repro --csv sales=data/sales.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import Database
+from .core.result import ApproximateResult
+from .workloads import generate_ssb, generate_tpch
+
+
+def load_csv(database: Database, name: str, path: str) -> None:
+    """Load a CSV file as a table, inferring numeric columns."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        raw: List[List[str]] = [row for row in reader if row]
+    columns: Dict[str, np.ndarray] = {}
+    for i, col in enumerate(header):
+        values = [row[i] for row in raw]
+        try:
+            columns[col] = np.asarray([float(v) for v in values])
+        except ValueError:
+            columns[col] = np.asarray(values, dtype=object)
+    database.create_table(name, columns)
+
+
+def format_result(result) -> str:
+    lines: List[str] = []
+    table = result.table
+    names = table.column_names
+    widths = [
+        max(len(n), *(len(f"{table[n][i]}") for i in range(min(table.num_rows, 50))))
+        if table.num_rows
+        else len(n)
+        for n in names
+    ]
+    lines.append("  ".join(n.ljust(w) for n, w in zip(names, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for i in range(min(table.num_rows, 50)):
+        lines.append(
+            "  ".join(f"{table[n][i]}".ljust(w) for n, w in zip(names, widths))
+        )
+    if table.num_rows > 50:
+        lines.append(f"... ({table.num_rows} rows total)")
+    if isinstance(result, ApproximateResult):
+        lines.append("")
+        lines.append(
+            f"[approximate] technique={result.technique} "
+            f"scanned={result.fraction_scanned:.1%} of blocks "
+            f"speedup~{result.speedup:.1f}x "
+            f"worst CI ±{result.max_relative_half_width():.2%}"
+        )
+    else:
+        lines.append("")
+        lines.append(f"[exact] blocks read: {result.stats.blocks_scanned}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Approximate query processing toolkit CLI",
+    )
+    parser.add_argument(
+        "query",
+        nargs="?",
+        help="SQL to run (omit for an interactive prompt)",
+    )
+    parser.add_argument(
+        "--demo",
+        choices=["tpch", "ssb"],
+        help="generate a demo benchmark database",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="demo scale factor"
+    )
+    parser.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="load a CSV file as table NAME (repeatable)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="sampling seed")
+    return parser
+
+
+def make_database(args) -> Database:
+    db = Database()
+    if args.demo == "tpch":
+        generate_tpch(db, scale=args.scale, seed=args.seed)
+    elif args.demo == "ssb":
+        generate_ssb(db, scale=args.scale, seed=args.seed)
+    for spec in args.csv:
+        if "=" not in spec:
+            raise SystemExit(f"--csv expects NAME=PATH, got {spec!r}")
+        name, path = spec.split("=", 1)
+        load_csv(db, name, path)
+    if not db.table_names:
+        raise SystemExit("no tables: pass --demo or --csv")
+    return db
+
+
+def run_query(db: Database, sql: str, seed: int) -> str:
+    try:
+        result = db.sql(sql, seed=seed)
+    except Exception as exc:  # surface library errors cleanly
+        return f"error: {type(exc).__name__}: {exc}"
+    return format_result(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    db = make_database(args)
+    print(f"tables: {', '.join(db.table_names)}", file=sys.stderr)
+    if args.query:
+        print(run_query(db, args.query, args.seed))
+        return 0
+    # Interactive loop.
+    print("enter SQL (blank line or Ctrl-D to exit):", file=sys.stderr)
+    while True:
+        try:
+            line = input("repro> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not line:
+            break
+        print(run_query(db, line, args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

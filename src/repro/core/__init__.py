@@ -1,0 +1,34 @@
+"""Core layer: error specs, results, the advisor, the trade-off model."""
+
+from .accuracy import GuaranteeReport, TrialOutcome, audit_query, compare_results
+from .advisor import Advisor
+from .errorspec import ErrorSpec
+from .result import ApproximateResult, CellEstimate, QueryResult
+from .session import AQPEngine
+from .tradeoff import (
+    TECHNIQUE_PROFILES,
+    TechniqueProfile,
+    comparison_matrix,
+    dominated_techniques,
+    format_matrix,
+    no_silver_bullet,
+)
+
+__all__ = [
+    "Advisor",
+    "GuaranteeReport",
+    "TrialOutcome",
+    "audit_query",
+    "compare_results",
+    "AQPEngine",
+    "ApproximateResult",
+    "CellEstimate",
+    "ErrorSpec",
+    "QueryResult",
+    "TECHNIQUE_PROFILES",
+    "TechniqueProfile",
+    "comparison_matrix",
+    "dominated_techniques",
+    "format_matrix",
+    "no_silver_bullet",
+]

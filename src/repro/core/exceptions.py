@@ -1,0 +1,65 @@
+"""Exception hierarchy for the AQP toolkit.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses separate the three layers users interact with:
+schema/data problems, SQL front-end problems, and approximation planning
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Malformed tables or references to missing columns/tables."""
+
+
+class SQLError(ReproError):
+    """Problems in the SQL front-end (lexing, parsing, binding)."""
+
+
+class SQLSyntaxError(SQLError):
+    """The query text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        #: Character offset into the query string, or -1 if unknown.
+        self.position = position
+
+
+class BindError(SQLError):
+    """The query parsed but refers to unknown tables/columns or is
+    semantically invalid (e.g. aggregate of an aggregate)."""
+
+
+class PlanError(ReproError):
+    """Logical plan construction or execution failed."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The query is valid SQL but outside the approximable class.
+
+    The AQP layers raise this to signal "fall back to exact execution",
+    mirroring the fallback behaviour every system in the survey implements.
+    """
+
+
+class ErrorSpecError(ReproError):
+    """Invalid error specification (negative error, confidence not in (0,1), ...)."""
+
+
+class InfeasiblePlanError(ReproError):
+    """No sampling plan can satisfy the error specification at a profitable
+    cost; the caller should execute the query exactly."""
+
+
+class SynopsisError(ReproError):
+    """A synopsis (sample, sketch, histogram) was asked something outside
+    its contract, e.g. a column it was not built on."""
+
+
+class MergeError(SynopsisError):
+    """Two synopses with incompatible parameters were merged."""

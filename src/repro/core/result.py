@@ -1,0 +1,154 @@
+"""Query result objects.
+
+Two result types are returned to users:
+
+* :class:`QueryResult` — an exact result: just a table plus execution
+  accounting.
+* :class:`ApproximateResult` — estimates with per-cell confidence
+  intervals, the technique that produced them, and enough diagnostics to
+  audit the guarantee (fraction of data read, estimated speedup, planner
+  decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.executor import ExecutionStats
+from ..engine.table import Table
+from .errorspec import ErrorSpec
+
+
+@dataclass
+class QueryResult:
+    """Exact query output."""
+
+    table: Table
+    stats: ExecutionStats
+    plan_text: str = ""
+
+    @property
+    def is_approximate(self) -> bool:
+        return False
+
+    def column(self, name: str) -> np.ndarray:
+        return self.table[name]
+
+    def scalar(self) -> float:
+        """The single value of a 1x1 result."""
+        if self.table.num_rows != 1 or self.table.num_columns != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{self.table.num_rows}x{self.table.num_columns}"
+            )
+        return float(self.table[self.table.column_names[0]][0])
+
+    def to_pylist(self) -> List[Dict[str, object]]:
+        return self.table.to_pylist()
+
+
+@dataclass
+class CellEstimate:
+    """One estimated aggregate cell (one aggregate in one group)."""
+
+    value: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.value == 0:
+            return float("inf")
+        return self.half_width / abs(self.value)
+
+
+@dataclass
+class ApproximateResult:
+    """Approximate query output with confidence intervals.
+
+    ``table`` holds the estimated values under the user's output aliases.
+    ``ci_low``/``ci_high`` map each aggregate output alias to arrays
+    aligned with the table's rows.
+    """
+
+    table: Table
+    stats: ExecutionStats
+    spec: ErrorSpec
+    technique: str
+    ci_low: Dict[str, np.ndarray] = field(default_factory=dict)
+    ci_high: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: fraction of available blocks actually read
+    fraction_scanned: float = 0.0
+    #: simulated cost of this query vs. the exact plan (work units)
+    approx_cost: float = 0.0
+    exact_cost: float = 0.0
+    #: free-form planner diagnostics (sampling rates, pilot info, ...)
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+    plan_text: str = ""
+
+    @property
+    def is_approximate(self) -> bool:
+        return True
+
+    @property
+    def speedup(self) -> float:
+        """Estimated speedup over exact execution (work-model ratio)."""
+        if self.approx_cost <= 0:
+            return float("inf")
+        return self.exact_cost / self.approx_cost
+
+    def column(self, name: str) -> np.ndarray:
+        return self.table[name]
+
+    def scalar(self) -> float:
+        if self.table.num_rows != 1:
+            raise ValueError("scalar() needs a single-row result")
+        aggs = [c for c in self.table.column_names if c in self.ci_low]
+        name = aggs[0] if aggs else self.table.column_names[0]
+        return float(self.table[name][0])
+
+    def estimate(self, alias: str, row: int = 0) -> CellEstimate:
+        """The estimate + CI for one output cell."""
+        value = float(self.table[alias][row])
+        lo = float(self.ci_low[alias][row]) if alias in self.ci_low else value
+        hi = float(self.ci_high[alias][row]) if alias in self.ci_high else value
+        return CellEstimate(value=value, ci_low=lo, ci_high=hi)
+
+    def iter_estimates(self) -> List[Tuple[str, int, CellEstimate]]:
+        """All (alias, row, estimate) cells that carry CIs."""
+        out = []
+        for alias in self.ci_low:
+            for row in range(self.table.num_rows):
+                out.append((alias, row, self.estimate(alias, row)))
+        return out
+
+    def max_relative_half_width(self) -> float:
+        """Worst-case reported relative CI half-width across all cells."""
+        worst = 0.0
+        for _, _, cell in self.iter_estimates():
+            worst = max(worst, cell.relative_half_width)
+        return worst
+
+    def to_pylist(self) -> List[Dict[str, object]]:
+        return self.table.to_pylist()
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description of the run."""
+        lines = [
+            f"technique={self.technique}  spec={self.spec}  "
+            f"scanned={self.fraction_scanned * 100:.2f}% of blocks  "
+            f"speedup~{self.speedup:.1f}x"
+        ]
+        for alias, row, cell in self.iter_estimates()[:10]:
+            lines.append(
+                f"  {alias}[{row}] = {cell.value:.4g} "
+                f"[{cell.ci_low:.4g}, {cell.ci_high:.4g}]"
+            )
+        return "\n".join(lines)

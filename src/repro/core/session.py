@@ -1,0 +1,90 @@
+"""The AQP engine facade.
+
+:class:`AQPEngine` ties the pieces together: it parses and binds SQL,
+routes exact queries straight to the executor, and hands queries that
+carry an error specification to the :mod:`~repro.core.advisor`, which
+chooses among the approximation techniques registered with the database.
+
+Typical use::
+
+    engine = AQPEngine(db)
+    exact = engine.sql("SELECT SUM(price) FROM sales")
+    approx = engine.sql(
+        "SELECT SUM(price) FROM sales ERROR WITHIN 5% CONFIDENCE 95%"
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.database import Database
+from ..engine.optimizer import optimize_plan
+from ..sql.binder import BoundQuery, bind_sql
+from .errorspec import ErrorSpec
+from .exceptions import UnsupportedQueryError
+from .result import ApproximateResult, QueryResult
+
+
+class AQPEngine:
+    """Session object wrapping a :class:`~repro.engine.database.Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # ------------------------------------------------------------------
+    def sql(
+        self,
+        query: str,
+        seed: Optional[int] = None,
+        spec: Optional[ErrorSpec] = None,
+        technique: Optional[str] = None,
+        pilot_rate: float = 0.01,
+    ):
+        """Run a SQL string, exactly or approximately.
+
+        Parameters
+        ----------
+        query:
+            SQL text; may end with ``ERROR WITHIN e% CONFIDENCE c%``.
+        seed:
+            RNG seed for any sampling (reproducible runs).
+        spec:
+            Error specification overriding/replacing the SQL clause.
+        technique:
+            Force a specific technique (``"exact"``, ``"pilot"``,
+            ``"quickr"``, ``"offline_sample"``, ``"sketch"``) instead of
+            letting the advisor choose.
+        pilot_rate:
+            Sampling rate for pilot (stage-1) queries of online planners.
+        """
+        bound = bind_sql(query, self.database)
+        if spec is None and bound.error_spec is not None:
+            spec = ErrorSpec(
+                relative_error=bound.error_spec.relative_error,
+                confidence=bound.error_spec.confidence,
+            )
+        if spec is None and technique in (None, "exact"):
+            return self.execute_exact(bound, seed=seed)
+        if spec is None:
+            raise UnsupportedQueryError(
+                "an error specification is required for approximate execution"
+            )
+        from .advisor import Advisor
+
+        advisor = Advisor(self.database)
+        return advisor.run(
+            bound,
+            spec,
+            seed=seed,
+            force_technique=technique,
+            pilot_rate=pilot_rate,
+        )
+
+    # ------------------------------------------------------------------
+    def execute_exact(
+        self, bound: BoundQuery, seed: Optional[int] = None
+    ) -> QueryResult:
+        plan = optimize_plan(bound.plan, self.database)
+        table, stats = self.database.execute(plan, seed=seed, optimize=False)
+        return QueryResult(table=table, stats=stats, plan_text=plan.explain())

@@ -1,0 +1,251 @@
+"""The No-Silver-Bullet trade-off model.
+
+The paper's core argument is that every AQP technique occupies a different
+point on three axes:
+
+* **generality** — what fraction of the query class it can answer,
+* **guarantee**  — whether its error is bounded *a priori*, *a posteriori*,
+  or only heuristically,
+* **speedup**    — how much less data it touches than exact execution.
+
+This module encodes each implemented technique's position on those axes as
+a small capability record, provides a per-query applicability check, and
+produces the comparison matrix programmatically — our executable version
+of the paper's qualitative comparison table. Benchmark E14 populates the
+same matrix with *measured* numbers and checks no technique dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+GUARANTEE_LEVELS = ("none", "heuristic", "a_posteriori", "a_priori")
+
+
+@dataclass(frozen=True)
+class TechniqueProfile:
+    """Static capability description of one AQP technique."""
+
+    name: str
+    #: supported aggregate functions
+    aggregates: frozenset
+    #: can it answer queries with joins of multiple sampled/large tables?
+    supports_joins: bool
+    #: does it survive arbitrary ad-hoc predicates?
+    supports_adhoc_predicates: bool
+    #: does it handle group-by with many/small groups well?
+    supports_small_groups: bool
+    #: error guarantee class
+    guarantee: str
+    #: does it need precomputation (and therefore maintenance)?
+    needs_precomputation: bool
+    #: typical fraction of data touched at query time (lower = faster)
+    typical_touch_fraction: float
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.guarantee not in GUARANTEE_LEVELS:
+            raise ValueError(f"unknown guarantee level {self.guarantee!r}")
+
+    @property
+    def generality_score(self) -> float:
+        """0..1 composite of the coverage flags."""
+        score = len(self.aggregates) / 6.0  # of sum,count,avg,min,max,distinct
+        score += 1.0 if self.supports_joins else 0.0
+        score += 1.0 if self.supports_adhoc_predicates else 0.0
+        score += 1.0 if self.supports_small_groups else 0.0
+        return min(score / 4.0, 1.0)
+
+    @property
+    def guarantee_score(self) -> float:
+        return GUARANTEE_LEVELS.index(self.guarantee) / (len(GUARANTEE_LEVELS) - 1)
+
+    @property
+    def speedup_score(self) -> float:
+        """0..1; 1 means it touches ~none of the data."""
+        return max(0.0, 1.0 - self.typical_touch_fraction)
+
+
+LINEAR = frozenset({"sum", "count", "avg"})
+
+#: The registry of implemented techniques and their honest capabilities.
+TECHNIQUE_PROFILES: Dict[str, TechniqueProfile] = {
+    "exact": TechniqueProfile(
+        name="exact",
+        aggregates=frozenset({"sum", "count", "avg", "min", "max", "count_distinct"}),
+        supports_joins=True,
+        supports_adhoc_predicates=True,
+        supports_small_groups=True,
+        guarantee="a_priori",  # zero error, trivially
+        needs_precomputation=False,
+        typical_touch_fraction=1.0,
+        notes="the degenerate corner: perfect generality and guarantee, no speedup",
+    ),
+    "uniform_sample": TechniqueProfile(
+        name="uniform_sample",
+        aggregates=LINEAR,
+        supports_joins=False,
+        supports_adhoc_predicates=True,
+        supports_small_groups=False,
+        guarantee="a_posteriori",
+        needs_precomputation=False,
+        typical_touch_fraction=0.05,
+        notes="row-level uniform sampling with CLT intervals",
+    ),
+    "pilot": TechniqueProfile(
+        name="pilot",
+        aggregates=LINEAR,
+        supports_joins=True,
+        supports_adhoc_predicates=True,
+        supports_small_groups=False,
+        guarantee="a_priori",
+        needs_precomputation=False,
+        typical_touch_fraction=0.08,
+        notes="two-stage block sampling; pays a pilot pass but bounds error upfront",
+    ),
+    "quickr": TechniqueProfile(
+        name="quickr",
+        aggregates=LINEAR,
+        supports_joins=True,
+        supports_adhoc_predicates=True,
+        supports_small_groups=True,
+        guarantee="a_posteriori",
+        needs_precomputation=False,
+        typical_touch_fraction=0.3,
+        notes="query-time sampler injection; one pass over data, ad-hoc friendly",
+    ),
+    "offline_sample": TechniqueProfile(
+        name="offline_sample",
+        aggregates=LINEAR,
+        supports_joins=True,  # via join synopses on FK paths
+        supports_adhoc_predicates=False,  # only predicates the strata anticipate
+        supports_small_groups=True,  # stratification protects them
+        guarantee="a_priori",
+        needs_precomputation=True,
+        typical_touch_fraction=0.01,
+        notes="BlinkDB-style stratified samples; fast but workload-bound + maintenance",
+    ),
+    "sketch": TechniqueProfile(
+        name="sketch",
+        aggregates=frozenset({"count", "count_distinct"}),
+        supports_joins=False,
+        supports_adhoc_predicates=False,
+        supports_small_groups=False,
+        guarantee="a_priori",
+        needs_precomputation=True,
+        typical_touch_fraction=0.0,
+        notes="per-aggregate synopses (HLL, CM); tiny and guaranteed but narrow",
+    ),
+    "histogram": TechniqueProfile(
+        name="histogram",
+        aggregates=frozenset({"count", "sum"}),
+        supports_joins=False,
+        supports_adhoc_predicates=False,  # only range predicates on the built column
+        supports_small_groups=False,
+        guarantee="heuristic",
+        needs_precomputation=True,
+        typical_touch_fraction=0.0,
+        notes="range aggregates from buckets/wavelets; tiny space, narrow class",
+    ),
+    "online_aggregation": TechniqueProfile(
+        name="online_aggregation",
+        aggregates=LINEAR,
+        supports_joins=True,  # ripple join
+        supports_adhoc_predicates=True,
+        supports_small_groups=False,
+        guarantee="a_posteriori",
+        needs_precomputation=False,
+        typical_touch_fraction=0.2,
+        notes="progressive answers; guarantee only at the (unknown) stop time",
+    ),
+}
+
+
+@dataclass
+class MatrixRow:
+    technique: str
+    generality: float
+    guarantee: float
+    speedup: float
+
+    @property
+    def wins_all(self) -> bool:
+        return self.generality >= 0.99 and self.guarantee >= 0.99 and self.speedup >= 0.5
+
+
+def comparison_matrix(
+    profiles: Optional[Dict[str, TechniqueProfile]] = None,
+) -> List[MatrixRow]:
+    """The paper's qualitative comparison, computed from the profiles."""
+    profiles = profiles if profiles is not None else TECHNIQUE_PROFILES
+    return [
+        MatrixRow(
+            technique=p.name,
+            generality=round(p.generality_score, 3),
+            guarantee=round(p.guarantee_score, 3),
+            speedup=round(p.speedup_score, 3),
+        )
+        for p in profiles.values()
+    ]
+
+
+def no_silver_bullet(profiles: Optional[Dict[str, TechniqueProfile]] = None) -> bool:
+    """True iff no non-exact technique maximizes all three axes.
+
+    This is the thesis statement as an assertion; the test suite and
+    benchmark E14 both check it against the measured matrix.
+    """
+    for row in comparison_matrix(profiles):
+        if row.technique == "exact":
+            continue
+        if row.wins_all:
+            return False
+    return True
+
+
+def dominated_techniques(
+    profiles: Optional[Dict[str, TechniqueProfile]] = None,
+) -> List[str]:
+    """Techniques strictly dominated on the three axes by another that is
+    also no worse on the maintenance dimension.
+
+    Maintenance (``needs_precomputation``) is the survey's fourth concern:
+    an offline sample that beats an online sampler on
+    generality/guarantee/speedup still does not dominate it, because it
+    drags a rebuild bill the online method never pays. An empty list
+    supports the survey's point that the techniques form a Pareto
+    frontier — each exists because it wins somewhere.
+    """
+    profiles = profiles if profiles is not None else TECHNIQUE_PROFILES
+    rows = {r.technique: r for r in comparison_matrix(profiles)}
+    dominated = []
+    for name, r in rows.items():
+        for other_name, other in rows.items():
+            if other_name == name:
+                continue
+            maintenance_ok = (
+                not profiles[other_name].needs_precomputation
+                or profiles[name].needs_precomputation
+            )
+            if (
+                maintenance_ok
+                and other.generality > r.generality
+                and other.guarantee > r.guarantee
+                and other.speedup > r.speedup
+            ):
+                dominated.append(name)
+                break
+    return dominated
+
+
+def format_matrix(rows: Sequence[MatrixRow]) -> str:
+    """Plain-text rendering used by benchmarks and the quickstart."""
+    header = f"{'technique':<20} {'generality':>10} {'guarantee':>10} {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.technique:<20} {r.generality:>10.2f} {r.guarantee:>10.2f} "
+            f"{r.speedup:>8.2f}"
+        )
+    return "\n".join(lines)

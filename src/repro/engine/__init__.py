@@ -1,0 +1,36 @@
+"""The in-memory columnar query engine substrate."""
+
+from .aggregates import AggregateSpec
+from .database import Database
+from .executor import ExecutionStats, Executor
+from .expressions import col
+from .plan import (
+    Filter,
+    GroupByAggregate,
+    HashJoin,
+    Limit,
+    OrderBy,
+    Project,
+    SampleClause,
+    Scan,
+    UnionAll,
+)
+from .table import Table
+
+__all__ = [
+    "AggregateSpec",
+    "Database",
+    "ExecutionStats",
+    "Executor",
+    "Filter",
+    "GroupByAggregate",
+    "HashJoin",
+    "Limit",
+    "OrderBy",
+    "Project",
+    "SampleClause",
+    "Scan",
+    "Table",
+    "UnionAll",
+    "col",
+]

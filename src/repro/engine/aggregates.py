@@ -1,0 +1,228 @@
+"""Aggregate functions and grouped reduction kernels.
+
+The engine supports the standard SQL aggregates. The AQP layers classify
+them the way the survey does: *linear* aggregates (SUM, COUNT, AVG) admit
+unbiased sampling estimators with CLT error analysis, whereas MIN/MAX and
+COUNT DISTINCT do not — that asymmetry is the root of several of the
+paper's "no silver bullet" arguments (experiments E5, E14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import PlanError
+from .expressions import Expression, Literal
+from .table import Table
+
+#: Aggregates for which sampling yields unbiased, CLT-analyzable estimates.
+LINEAR_AGGREGATES = frozenset({"sum", "count", "avg"})
+
+#: All aggregates the engine can execute exactly.
+SUPPORTED_AGGREGATES = frozenset(
+    {"sum", "count", "avg", "min", "max", "var", "stddev", "count_distinct"}
+)
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate in a SELECT list.
+
+    ``func`` is lower-case; ``argument`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    func: str
+    argument: Optional[Expression]
+    alias: str
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        func = self.func.lower()
+        if func == "count" and self.distinct:
+            func = "count_distinct"
+        if func not in SUPPORTED_AGGREGATES:
+            raise PlanError(f"unsupported aggregate function {self.func!r}")
+        self.func = func
+        if func != "count" and func != "count_distinct" and self.argument is None:
+            raise PlanError(f"{func.upper()} requires an argument")
+
+    @property
+    def is_linear(self) -> bool:
+        return self.func in LINEAR_AGGREGATES
+
+    def input_values(self, table: Table) -> np.ndarray:
+        """Per-row input to the aggregate. COUNT(*) contributes 1 per row."""
+        if self.argument is None:
+            return np.ones(table.num_rows, dtype=np.float64)
+        return self.argument.evaluate(table)
+
+    def columns(self) -> frozenset:
+        if self.argument is None:
+            return frozenset()
+        return self.argument.columns()
+
+    def __repr__(self) -> str:
+        inner = "*" if self.argument is None else repr(self.argument)
+        distinct = "DISTINCT " if self.func == "count_distinct" else ""
+        return f"{self.func.upper()}({distinct}{inner}) AS {self.alias}"
+
+
+# ----------------------------------------------------------------------
+# Group encoding
+# ----------------------------------------------------------------------
+
+def encode_groups(key_arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[Tuple]]:
+    """Map composite keys to dense group ids.
+
+    Returns ``(group_ids, key_tuples)`` where ``group_ids[i]`` indexes into
+    ``key_tuples``. Keys are ordered by first appearance is *not* guaranteed;
+    they follow numpy's sort order, which is fine because SQL group order is
+    unspecified.
+    """
+    if not key_arrays:
+        raise PlanError("encode_groups requires at least one key array")
+    n = len(key_arrays[0])
+    if n == 0:
+        return np.array([], dtype=np.int64), []
+    if len(key_arrays) == 1:
+        uniques, inverse = np.unique(key_arrays[0], return_inverse=True)
+        return inverse.astype(np.int64), [(u,) for u in uniques.tolist()]
+    # Composite key: factorize each key column, then combine the codes.
+    codes = []
+    levels = []
+    for arr in key_arrays:
+        uniq, inv = np.unique(arr, return_inverse=True)
+        codes.append(inv.astype(np.int64))
+        levels.append(uniq)
+    combined = np.zeros(n, dtype=np.int64)
+    multiplier = 1
+    for code, uniq in zip(reversed(codes), reversed(levels)):
+        combined += code * multiplier
+        multiplier *= len(uniq)
+    uniq_combined, inverse = np.unique(combined, return_inverse=True)
+    # Decode combined ids back into key tuples.
+    key_tuples: List[Tuple] = []
+    for cid in uniq_combined.tolist():
+        parts = []
+        rem = cid
+        for uniq in reversed(levels):
+            rem, idx = divmod(rem, len(uniq))
+            parts.append(uniq[idx])
+        key_tuples.append(tuple(reversed(parts)))
+    return inverse.astype(np.int64), key_tuples
+
+
+# ----------------------------------------------------------------------
+# Grouped kernels
+# ----------------------------------------------------------------------
+
+def grouped_sum(group_ids: np.ndarray, values: np.ndarray, num_groups: int) -> np.ndarray:
+    vals = np.asarray(values, dtype=np.float64)
+    return np.bincount(group_ids, weights=vals, minlength=num_groups)
+
+
+def grouped_count(group_ids: np.ndarray, num_groups: int) -> np.ndarray:
+    return np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+
+
+def grouped_min(group_ids: np.ndarray, values: np.ndarray, num_groups: int) -> np.ndarray:
+    out = np.full(num_groups, np.inf)
+    np.minimum.at(out, group_ids, np.asarray(values, dtype=np.float64))
+    return out
+
+
+def grouped_max(group_ids: np.ndarray, values: np.ndarray, num_groups: int) -> np.ndarray:
+    out = np.full(num_groups, -np.inf)
+    np.maximum.at(out, group_ids, np.asarray(values, dtype=np.float64))
+    return out
+
+
+def grouped_var(
+    group_ids: np.ndarray, values: np.ndarray, num_groups: int, ddof: int = 1
+) -> np.ndarray:
+    """Per-group sample variance (ddof=1), NaN for singleton groups."""
+    vals = np.asarray(values, dtype=np.float64)
+    counts = np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+    sums = np.bincount(group_ids, weights=vals, minlength=num_groups)
+    sumsq = np.bincount(group_ids, weights=vals * vals, minlength=num_groups)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        ss = sumsq - counts * means * means
+        ss = np.maximum(ss, 0.0)  # guard tiny negative round-off
+        denom = counts - ddof
+        var = np.where(denom > 0, ss / np.maximum(denom, 1), np.nan)
+    return var
+
+
+def grouped_count_distinct(
+    group_ids: np.ndarray, values: np.ndarray, num_groups: int
+) -> np.ndarray:
+    """Exact per-group distinct counts via (group, value) dedup."""
+    if len(values) == 0:
+        return np.zeros(num_groups, dtype=np.float64)
+    # Factorize values to integer codes so lexsort works for any dtype.
+    _, value_codes = np.unique(values, return_inverse=True)
+    order = np.lexsort((value_codes, group_ids))
+    g = group_ids[order]
+    v = value_codes[order]
+    new_pair = np.ones(len(v), dtype=bool)
+    new_pair[1:] = (g[1:] != g[:-1]) | (v[1:] != v[:-1])
+    return np.bincount(g[new_pair], minlength=num_groups).astype(np.float64)
+
+
+def compute_aggregate(spec: AggregateSpec, table: Table) -> float:
+    """Ungrouped (scalar) aggregate over a table."""
+    values = spec.input_values(table)
+    if spec.func == "count":
+        return float(table.num_rows)
+    if spec.func == "count_distinct":
+        return float(len(np.unique(values)))
+    vals = np.asarray(values, dtype=np.float64)
+    if len(vals) == 0:
+        return 0.0 if spec.func == "sum" else float("nan")
+    if spec.func == "sum":
+        return float(np.sum(vals))
+    if spec.func == "avg":
+        return float(np.mean(vals))
+    if spec.func == "min":
+        return float(np.min(vals))
+    if spec.func == "max":
+        return float(np.max(vals))
+    if spec.func == "var":
+        return float(np.var(vals, ddof=1)) if len(vals) > 1 else float("nan")
+    if spec.func == "stddev":
+        return float(np.std(vals, ddof=1)) if len(vals) > 1 else float("nan")
+    raise PlanError(f"unreachable aggregate {spec.func!r}")
+
+
+def compute_grouped_aggregate(
+    spec: AggregateSpec,
+    table: Table,
+    group_ids: np.ndarray,
+    num_groups: int,
+) -> np.ndarray:
+    """Per-group aggregate values aligned with group ids 0..num_groups-1."""
+    values = spec.input_values(table)
+    if spec.func == "count":
+        return grouped_count(group_ids, num_groups)
+    if spec.func == "count_distinct":
+        return grouped_count_distinct(group_ids, values, num_groups)
+    if spec.func == "sum":
+        return grouped_sum(group_ids, values, num_groups)
+    if spec.func == "avg":
+        counts = grouped_count(group_ids, num_groups)
+        sums = grouped_sum(group_ids, values, num_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    if spec.func == "min":
+        return grouped_min(group_ids, values, num_groups)
+    if spec.func == "max":
+        return grouped_max(group_ids, values, num_groups)
+    if spec.func == "var":
+        return grouped_var(group_ids, values, num_groups)
+    if spec.func == "stddev":
+        return np.sqrt(grouped_var(group_ids, values, num_groups))
+    raise PlanError(f"unreachable aggregate {spec.func!r}")

@@ -1,0 +1,524 @@
+"""Vectorized expression trees.
+
+Expressions evaluate against a :class:`~repro.engine.table.Table` and return
+numpy arrays (or scalars broadcastable against the table length). They are
+shared between the SQL binder, the plan operators, and the AQP rewriters,
+which inspect and rewrite them (e.g. to scale SUM aggregates by inverse
+sampling rates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import PlanError, SchemaError
+from .table import Table
+
+
+class Expression:
+    """Base class for all scalar expressions."""
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Names of columns this expression reads."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expression", ...]:
+        return ()
+
+    def replace_children(self, children: Sequence["Expression"]) -> "Expression":
+        """Rebuild this node with new children (for tree rewrites)."""
+        if children:
+            raise PlanError(f"{type(self).__name__} takes no children")
+        return self
+
+    # -- operator sugar -------------------------------------------------
+    def __add__(self, other) -> "Expression":
+        return BinaryOp("+", self, lift(other))
+
+    def __radd__(self, other) -> "Expression":
+        return BinaryOp("+", lift(other), self)
+
+    def __sub__(self, other) -> "Expression":
+        return BinaryOp("-", self, lift(other))
+
+    def __rsub__(self, other) -> "Expression":
+        return BinaryOp("-", lift(other), self)
+
+    def __mul__(self, other) -> "Expression":
+        return BinaryOp("*", self, lift(other))
+
+    def __rmul__(self, other) -> "Expression":
+        return BinaryOp("*", lift(other), self)
+
+    def __truediv__(self, other) -> "Expression":
+        return BinaryOp("/", self, lift(other))
+
+    def __rtruediv__(self, other) -> "Expression":
+        return BinaryOp("/", lift(other), self)
+
+    def __neg__(self) -> "Expression":
+        return UnaryOp("-", self)
+
+    def __eq__(self, other) -> "Expression":  # type: ignore[override]
+        return Comparison("=", self, lift(other))
+
+    def __ne__(self, other) -> "Expression":  # type: ignore[override]
+        return Comparison("<>", self, lift(other))
+
+    def __lt__(self, other) -> "Expression":
+        return Comparison("<", self, lift(other))
+
+    def __le__(self, other) -> "Expression":
+        return Comparison("<=", self, lift(other))
+
+    def __gt__(self, other) -> "Expression":
+        return Comparison(">", self, lift(other))
+
+    def __ge__(self, other) -> "Expression":
+        return Comparison(">=", self, lift(other))
+
+    def __and__(self, other) -> "Expression":
+        return BooleanOp("AND", [self, lift(other)])
+
+    def __or__(self, other) -> "Expression":
+        return BooleanOp("OR", [self, lift(other)])
+
+    def __invert__(self) -> "Expression":
+        return NotOp(self)
+
+    def __hash__(self) -> int:  # __eq__ is overloaded, keep hashable by id
+        return id(self)
+
+    def isin(self, values: Iterable) -> "Expression":
+        return InList(self, list(values))
+
+    def between(self, lo, hi) -> "Expression":
+        return Between(self, lift(lo), lift(hi))
+
+
+def lift(value) -> Expression:
+    """Wrap a Python scalar into a :class:`Literal`; pass expressions through."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class Column(Expression):
+    """Reference to a column by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return table[self.name]
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        n = table.num_rows
+        if isinstance(self.value, str):
+            out = np.empty(n, dtype=object)
+            out[:] = self.value
+            return out
+        return np.full(n, self.value)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_ARITH: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "%": np.mod,
+}
+
+
+class BinaryOp(Expression):
+    """Arithmetic between two expressions: ``+ - * / %``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in ("+", "-", "*", "/", "%"):
+            raise PlanError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        lhs = self.left.evaluate(table)
+        rhs = self.right.evaluate(table)
+        if self.op == "/":
+            lhs = np.asarray(lhs, dtype=np.float64)
+            rhs = np.asarray(rhs, dtype=np.float64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(rhs == 0, np.nan, lhs / np.where(rhs == 0, 1, rhs))
+        return _ARITH[self.op](lhs, rhs)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        left, right = children
+        return BinaryOp(self.op, left, right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class UnaryOp(Expression):
+    """Unary minus."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expression) -> None:
+        if op != "-":
+            raise PlanError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return -self.operand.evaluate(table)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        return UnaryOp(self.op, children[0])
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+_CMP: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Expression):
+    """Comparison producing a boolean mask."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _CMP:
+            raise PlanError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        lhs = self.left.evaluate(table)
+        rhs = self.right.evaluate(table)
+        return np.asarray(_CMP[self.op](lhs, rhs), dtype=bool)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        left, right = children
+        return Comparison(self.op, left, right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BooleanOp(Expression):
+    """N-ary AND / OR over boolean expressions."""
+
+    __slots__ = ("op", "operands")
+
+    def __init__(self, op: str, operands: Sequence[Expression]) -> None:
+        if op not in ("AND", "OR"):
+            raise PlanError(f"unknown boolean operator {op!r}")
+        if not operands:
+            raise PlanError(f"{op} needs at least one operand")
+        self.op = op
+        self.operands = list(operands)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        result = np.asarray(self.operands[0].evaluate(table), dtype=bool)
+        for operand in self.operands[1:]:
+            mask = np.asarray(operand.evaluate(table), dtype=bool)
+            result = result & mask if self.op == "AND" else result | mask
+        return result
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            out |= operand.columns()
+        return out
+
+    def children(self) -> Tuple[Expression, ...]:
+        return tuple(self.operands)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        return BooleanOp(self.op, list(children))
+
+    def __repr__(self) -> str:
+        sep = f" {self.op} "
+        return "(" + sep.join(repr(o) for o in self.operands) + ")"
+
+
+class NotOp(Expression):
+    """Boolean negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return ~np.asarray(self.operand.evaluate(table), dtype=bool)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        return NotOp(children[0])
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` membership test."""
+
+    __slots__ = ("operand", "values")
+
+    def __init__(self, operand: Expression, values: Sequence) -> None:
+        self.operand = operand
+        self.values = list(values)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        arr = self.operand.evaluate(table)
+        if len(self.values) == 0:
+            return np.zeros(len(arr), dtype=bool)
+        return np.isin(arr, np.asarray(self.values, dtype=arr.dtype if arr.dtype != object else object))
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        return InList(children[0], self.values)
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} IN {self.values!r})"
+
+
+class Between(Expression):
+    """``expr BETWEEN lo AND hi`` (inclusive both ends, as in SQL)."""
+
+    __slots__ = ("operand", "low", "high")
+
+    def __init__(self, operand: Expression, low: Expression, high: Expression) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        arr = self.operand.evaluate(table)
+        lo = self.low.evaluate(table)
+        hi = self.high.evaluate(table)
+        return np.asarray((arr >= lo) & (arr <= hi), dtype=bool)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns() | self.low.columns() | self.high.columns()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand, self.low, self.high)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        operand, low, high = children
+        return Between(operand, low, high)
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    __slots__ = ("branches", "default")
+
+    def __init__(
+        self,
+        branches: Sequence[Tuple[Expression, Expression]],
+        default: Optional[Expression] = None,
+    ) -> None:
+        if not branches:
+            raise PlanError("CASE requires at least one WHEN branch")
+        self.branches = list(branches)
+        self.default = default if default is not None else Literal(0)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        result = np.asarray(self.default.evaluate(table), dtype=np.float64)
+        # Apply branches in reverse so the first matching WHEN wins.
+        for cond, value in reversed(self.branches):
+            mask = np.asarray(cond.evaluate(table), dtype=bool)
+            vals = np.asarray(value.evaluate(table), dtype=np.float64)
+            result = np.where(mask, vals, result)
+        return result
+
+    def columns(self) -> FrozenSet[str]:
+        out = self.default.columns()
+        for cond, value in self.branches:
+            out |= cond.columns() | value.columns()
+        return out
+
+    def children(self) -> Tuple[Expression, ...]:
+        flat: List[Expression] = []
+        for cond, value in self.branches:
+            flat.extend((cond, value))
+        flat.append(self.default)
+        return tuple(flat)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        pairs = [
+            (children[i], children[i + 1]) for i in range(0, len(children) - 1, 2)
+        ]
+        return CaseWhen(pairs, children[-1])
+
+    def __repr__(self) -> str:
+        parts = " ".join(f"WHEN {c!r} THEN {v!r}" for c, v in self.branches)
+        return f"(CASE {parts} ELSE {self.default!r} END)"
+
+
+_FUNCTIONS: Dict[str, Callable[..., np.ndarray]] = {
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "ln": np.log,
+    "log": np.log,
+    "exp": np.exp,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "round": np.round,
+    "lower": np.vectorize(lambda s: s.lower(), otypes=[object]),
+    "upper": np.vectorize(lambda s: s.upper(), otypes=[object]),
+    "length": np.vectorize(len, otypes=[np.int64]),
+}
+
+
+class FunctionCall(Expression):
+    """Scalar function application, e.g. ``abs(x)``."""
+
+    __slots__ = ("func_name", "args")
+
+    def __init__(self, func_name: str, args: Sequence[Expression]) -> None:
+        key = func_name.lower()
+        if key not in _FUNCTIONS:
+            raise PlanError(
+                f"unknown function {func_name!r}; "
+                f"supported: {sorted(_FUNCTIONS)}"
+            )
+        self.func_name = key
+        self.args = list(args)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        values = [a.evaluate(table) for a in self.args]
+        return _FUNCTIONS[self.func_name](*values)
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for a in self.args:
+            out |= a.columns()
+        return out
+
+    def children(self) -> Tuple[Expression, ...]:
+        return tuple(self.args)
+
+    def replace_children(self, children: Sequence[Expression]) -> Expression:
+        return FunctionCall(self.func_name, list(children))
+
+    def __repr__(self) -> str:
+        return f"{self.func_name}({', '.join(repr(a) for a in self.args)})"
+
+
+def col(name: str) -> Column:
+    """Shorthand constructor used throughout examples and tests."""
+    return Column(name)
+
+
+def walk(expr: Expression) -> Iterable[Expression]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def transform(expr: Expression, fn: Callable[[Expression], Optional[Expression]]) -> Expression:
+    """Bottom-up rewrite: ``fn`` may return a replacement node or ``None``."""
+    children = expr.children()
+    if children:
+        new_children = [transform(c, fn) for c in children]
+        if any(n is not o for n, o in zip(new_children, children)):
+            expr = expr.replace_children(new_children)
+    replacement = fn(expr)
+    return replacement if replacement is not None else expr
+
+
+def conjuncts(predicate: Optional[Expression]) -> List[Expression]:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, BooleanOp) and predicate.op == "AND":
+        out: List[Expression] = []
+        for operand in predicate.operands:
+            out.extend(conjuncts(operand))
+        return out
+    return [predicate]
+
+
+def combine_conjuncts(predicates: Sequence[Expression]) -> Optional[Expression]:
+    """Inverse of :func:`conjuncts`."""
+    preds = [p for p in predicates if p is not None]
+    if not preds:
+        return None
+    if len(preds) == 1:
+        return preds[0]
+    return BooleanOp("AND", preds)

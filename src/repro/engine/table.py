@@ -1,0 +1,243 @@
+"""Columnar in-memory tables.
+
+The engine stores data column-wise in numpy arrays, which is the layout
+assumed throughout the AQP literature the paper surveys: scans touch only
+the referenced columns, and block/page structure is expressed as contiguous
+row ranges (see :mod:`repro.storage.blocks`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import SchemaError
+
+#: Default number of rows per storage block. Chosen so that laptop-scale
+#: tables (1e5-1e7 rows) have enough blocks for block sampling to be
+#: meaningful, mirroring an 8KB page holding ~1000 narrow rows.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+def _as_column_array(values: Iterable) -> np.ndarray:
+    """Coerce ``values`` into a 1-D numpy array suitable for a column.
+
+    Numeric and boolean data keep their native dtypes; anything else
+    (strings, mixed) is stored as ``object`` so equality and hashing work
+    uniformly in joins and group-bys.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise SchemaError(f"columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in ("i", "u", "f", "b"):
+        return arr
+    if arr.dtype.kind == "U" or arr.dtype.kind == "S" or arr.dtype == object:
+        return arr.astype(object)
+    if arr.dtype.kind == "M":  # datetimes: keep as int64 days for simplicity
+        return arr.astype("datetime64[D]").astype(np.int64)
+    raise SchemaError(f"unsupported column dtype: {arr.dtype}")
+
+
+class Table:
+    """An immutable, named collection of equal-length columns.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to array-like of values.
+    name:
+        Optional table name used in error messages and plans.
+    block_size:
+        Number of rows per storage block; drives block sampling and the
+        cost model's notion of I/O.
+    """
+
+    __slots__ = ("_columns", "name", "block_size")
+
+    def __init__(
+        self,
+        columns: Mapping[str, Iterable],
+        name: str = "",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size <= 0:
+            raise SchemaError("block_size must be positive")
+        self._columns: Dict[str, np.ndarray] = {}
+        nrows: Optional[int] = None
+        for col_name, values in columns.items():
+            arr = _as_column_array(values)
+            if nrows is None:
+                nrows = len(arr)
+            elif len(arr) != nrows:
+                raise SchemaError(
+                    f"column {col_name!r} has {len(arr)} rows, expected {nrows}"
+                )
+            self._columns[col_name] = arr
+        self.name = name
+        self.block_size = block_size
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r} in table {self.name or '<anonymous>'} "
+                f"(have {self.column_names})"
+            ) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Alias of ``table[name]``."""
+        return self[name]
+
+    def columns_dict(self) -> Dict[str, np.ndarray]:
+        """A shallow copy of the name -> array mapping."""
+        return dict(self._columns)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray, name: Optional[str] = None) -> "Table":
+        """Row subset/reorder by integer indices or boolean mask."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            if len(indices) != self.num_rows:
+                raise SchemaError("boolean mask length mismatch")
+        return Table(
+            {k: v[indices] for k, v in self._columns.items()},
+            name=name if name is not None else self.name,
+            block_size=self.block_size,
+        )
+
+    def select(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Column subset (projection)."""
+        return Table(
+            {n: self[n] for n in names},
+            name=name if name is not None else self.name,
+            block_size=self.block_size,
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a table with columns renamed per ``mapping``."""
+        return Table(
+            {mapping.get(k, k): v for k, v in self._columns.items()},
+            name=self.name,
+            block_size=self.block_size,
+        )
+
+    def with_column(self, name: str, values: Iterable) -> "Table":
+        """Return a copy with column ``name`` added or replaced."""
+        cols = dict(self._columns)
+        cols[name] = values
+        return Table(cols, name=self.name, block_size=self.block_size)
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    def slice_rows(self, start: int, stop: int) -> "Table":
+        return Table(
+            {k: v[start:stop] for k, v in self._columns.items()},
+            name=self.name,
+            block_size=self.block_size,
+        )
+
+    @staticmethod
+    def concat(tables: Sequence["Table"], name: str = "") -> "Table":
+        """Vertical concatenation (bag UNION ALL)."""
+        if not tables:
+            return Table({}, name=name)
+        names = tables[0].column_names
+        for t in tables[1:]:
+            if t.column_names != names:
+                raise SchemaError(
+                    f"UNION ALL schema mismatch: {names} vs {t.column_names}"
+                )
+        cols = {}
+        for col in names:
+            parts = [t[col] for t in tables]
+            if any(p.dtype == object for p in parts):
+                parts = [p.astype(object) for p in parts]
+            cols[col] = np.concatenate(parts)
+        return Table(cols, name=name, block_size=tables[0].block_size)
+
+    @staticmethod
+    def empty_like(template: "Table") -> "Table":
+        return template.take(np.array([], dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        if self.num_rows == 0:
+            return 0
+        return (self.num_rows + self.block_size - 1) // self.block_size
+
+    def block_bounds(self, block_id: int) -> Tuple[int, int]:
+        """Row range ``[start, stop)`` covered by ``block_id``."""
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(f"block {block_id} out of range [0, {self.num_blocks})")
+        start = block_id * self.block_size
+        stop = min(start + self.block_size, self.num_rows)
+        return start, stop
+
+    def block(self, block_id: int) -> "Table":
+        start, stop = self.block_bounds(block_id)
+        return self.slice_rows(start, stop)
+
+    def block_ids_of_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """Block id of each row index."""
+        return np.asarray(row_indices) // self.block_size
+
+    # ------------------------------------------------------------------
+    # Convenience / debug
+    # ------------------------------------------------------------------
+    def iter_rows(self) -> Iterator[Tuple]:
+        """Iterate rows as tuples (slow; tests/debug only)."""
+        arrays = list(self._columns.values())
+        for i in range(self.num_rows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def to_pylist(self) -> List[Dict[str, object]]:
+        """Rows as list of dicts (slow; tests/debug only)."""
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def estimated_bytes(self) -> int:
+        """Rough in-memory footprint used by the cost model."""
+        total = 0
+        for arr in self._columns.values():
+            if arr.dtype == object:
+                total += arr.size * 24  # pointer + small-string estimate
+            else:
+                total += arr.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Table(name={self.name!r}, rows={self.num_rows}, "
+            f"cols={self.column_names})"
+        )

@@ -1,0 +1,111 @@
+"""Bootstrap confidence intervals.
+
+The survey's online-aggregation line of work popularized the bootstrap as
+an alternative to closed-form CIs for statistics whose variance is hard to
+derive (ratios, composite expressions, post-join aggregates). We provide
+the classic resampling bootstrap plus a Poissonized variant that matches
+Bernoulli-sampled inputs, and a coverage-evaluation helper the test suite
+uses to compare bootstrap vs. CLT intervals empirically (experiment E13's
+"peeking" discussion builds on it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BootstrapResult:
+    """Point estimate and percentile CI from bootstrap replicates."""
+
+    value: float
+    ci_low: float
+    ci_high: float
+    replicates: np.ndarray
+
+    @property
+    def std_error(self) -> float:
+        return float(np.std(self.replicates, ddof=1)) if len(self.replicates) > 1 else math.inf
+
+
+def bootstrap_ci(
+    sample: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    confidence: float = 0.95,
+    num_replicates: int = 500,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapResult:
+    """Percentile bootstrap for an arbitrary statistic of an i.i.d. sample."""
+    if rng is None:
+        rng = np.random.default_rng()
+    data = np.asarray(sample)
+    n = len(data)
+    if n == 0:
+        return BootstrapResult(math.nan, -math.inf, math.inf, np.array([]))
+    point = float(statistic(data))
+    reps = np.empty(num_replicates)
+    for b in range(num_replicates):
+        idx = rng.integers(0, n, size=n)
+        reps[b] = statistic(data[idx])
+    alpha = 1.0 - confidence
+    lo, hi = np.quantile(reps, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapResult(point, float(lo), float(hi), reps)
+
+
+def poissonized_bootstrap_total(
+    sample: np.ndarray,
+    rate: float,
+    confidence: float = 0.95,
+    num_replicates: int = 500,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapResult:
+    """Bootstrap for the HT total of a Bernoulli(rate) sample.
+
+    Each replicate re-weights rows with i.i.d. Poisson(1) multiplicities,
+    which mimics re-drawing the Bernoulli sample without touching the base
+    table — the standard trick for bootstrapping scaled totals.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    y = np.asarray(sample, dtype=np.float64)
+    n = len(y)
+    point = float(np.sum(y)) / rate if rate > 0 else math.nan
+    if n == 0:
+        return BootstrapResult(point, -math.inf, math.inf, np.array([]))
+    reps = np.empty(num_replicates)
+    for b in range(num_replicates):
+        multiplicity = rng.poisson(1.0, size=n)
+        reps[b] = float(np.sum(y * multiplicity)) / rate
+    alpha = 1.0 - confidence
+    lo, hi = np.quantile(reps, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapResult(point, float(lo), float(hi), reps)
+
+
+def coverage_probability(
+    population: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    interval_fn: Callable[[np.ndarray, np.random.Generator], Tuple[float, float]],
+    sample_size: int,
+    num_trials: int = 200,
+    seed: int = 0,
+) -> float:
+    """Empirical coverage of an interval procedure.
+
+    Repeatedly draws SRS samples of ``sample_size`` from ``population``,
+    builds the interval with ``interval_fn(sample, rng)``, and reports the
+    fraction of trials whose interval contains the true statistic.
+    """
+    rng = np.random.default_rng(seed)
+    pop = np.asarray(population)
+    truth = float(statistic(pop))
+    hits = 0
+    for _ in range(num_trials):
+        idx = rng.choice(len(pop), size=min(sample_size, len(pop)), replace=False)
+        lo, hi = interval_fn(pop[idx], rng)
+        if lo <= truth <= hi:
+            hits += 1
+    return hits / num_trials

@@ -1,0 +1,74 @@
+"""Horvitz–Thompson estimation for arbitrary inclusion probabilities.
+
+Non-uniform samplers (measure-biased sampling, stratified designs with
+unequal allocation, Quickr's distinct sampler) all reduce to the same
+estimator: weight each sampled row by the inverse of its inclusion
+probability. This module provides the generic HT total/count and its
+variance estimate under Poisson (independent-inclusion) designs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .closed_form import Estimate
+
+
+def ht_total(values: np.ndarray, inclusion_probs: np.ndarray) -> Estimate:
+    """HT estimate of ``Σ_pop y`` from a Poisson sample.
+
+    Parameters
+    ----------
+    values:
+        Sampled values ``y_i``.
+    inclusion_probs:
+        Per-sampled-row inclusion probabilities ``π_i`` (all in (0, 1]).
+    """
+    y = np.asarray(values, dtype=np.float64)
+    pi = np.asarray(inclusion_probs, dtype=np.float64)
+    if len(y) != len(pi):
+        raise ValueError("values and inclusion_probs must align")
+    if len(pi) and (np.any(pi <= 0) or np.any(pi > 1)):
+        raise ValueError("inclusion probabilities must be in (0, 1]")
+    total = float(np.sum(y / pi)) if len(y) else 0.0
+    # Poisson-design variance: Var = Σ_pop (1-π) y²/π, estimated by
+    # Σ_sample (1-π) y²/π².
+    variance = float(np.sum((1.0 - pi) * y * y / (pi * pi))) if len(y) else 0.0
+    return Estimate(total, variance, len(y), estimator="ht_total")
+
+
+def ht_count(inclusion_probs: np.ndarray) -> Estimate:
+    """HT estimate of the population size (COUNT) under Poisson sampling."""
+    pi = np.asarray(inclusion_probs, dtype=np.float64)
+    return ht_total(np.ones_like(pi), pi)
+
+
+def ht_mean(values: np.ndarray, inclusion_probs: np.ndarray) -> Estimate:
+    """Hájek (ratio-of-HT) estimator of the population mean."""
+    y = np.asarray(values, dtype=np.float64)
+    pi = np.asarray(inclusion_probs, dtype=np.float64)
+    if len(y) == 0:
+        return Estimate(math.nan, math.inf, 0, estimator="ht_mean")
+    w = 1.0 / pi
+    sw = float(np.sum(w))
+    mean = float(np.sum(w * y)) / sw
+    residuals = w * (y - mean)
+    n = len(y)
+    var = float(np.sum(residuals * residuals)) / (sw * sw)
+    if n > 1:
+        var *= n / (n - 1)
+    return Estimate(mean, var, n, estimator="ht_mean")
+
+
+def scale_up_weights(
+    values: np.ndarray, weights: np.ndarray
+) -> Estimate:
+    """HT total parameterized by weights ``w_i = 1/π_i`` directly."""
+    w = np.asarray(weights, dtype=np.float64)
+    if len(w) and np.any(w < 1.0):
+        raise ValueError("HT weights must be >= 1")
+    pi = 1.0 / np.maximum(w, 1.0)
+    return ht_total(values, pi)

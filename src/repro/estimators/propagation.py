@@ -1,0 +1,154 @@
+"""Relative-error propagation for composite aggregates.
+
+SELECT lists routinely combine simple aggregates — ``SUM(a)/SUM(b)``,
+``SUM(a) * AVG(b)``, ``SUM(a) + SUM(b)`` — and an AQP planner that
+guarantees a relative error ``ε`` for the *composite* must decide what to
+demand of each *factor*. These are the classic uncertainty-propagation
+bounds (valid for positive quantities, proved by direct algebra):
+
+* product:   ``rel(xy) ≤ rel(x) + rel(y) + rel(x)·rel(y)``
+* quotient:  ``rel(x/y) ≤ (rel(x) + rel(y)) / (1 - rel(y))``
+* sum:       ``rel(x+y) ≤ max(rel(x), rel(y))`` (positive terms)
+
+The planner allocates ``ε`` evenly across factors using the inverse
+direction (:func:`allocate_for_product` etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..core.exceptions import ErrorSpecError
+
+
+def propagate_product(rel_errors: Sequence[float]) -> float:
+    """Upper bound on the relative error of a product of positive factors."""
+    bound = 1.0
+    for e in rel_errors:
+        _check(e)
+        bound *= 1.0 + e
+    return bound - 1.0
+
+
+def propagate_quotient(rel_num: float, rel_den: float) -> float:
+    """Upper bound on the relative error of ``x / y`` (positive x, y)."""
+    _check(rel_num)
+    _check(rel_den)
+    if rel_den >= 1.0:
+        return math.inf
+    return (rel_num + rel_den) / (1.0 - rel_den)
+
+
+def propagate_sum(rel_errors: Sequence[float]) -> float:
+    """Upper bound for a sum of positive terms: the worst factor error."""
+    for e in rel_errors:
+        _check(e)
+    return max(rel_errors) if rel_errors else 0.0
+
+
+def propagate_difference(
+    rel_x: float, rel_y: float, x: float, y: float
+) -> float:
+    """Bound for ``x - y``; blows up as the difference cancels.
+
+    ``rel(x-y) ≤ (rel(x)·|x| + rel(y)·|y|) / |x - y|`` — the planner uses
+    this to *refuse* differences of nearly equal aggregates (no sampling
+    scheme can bound them cheaply; one of the paper's generality caveats).
+    """
+    _check(rel_x)
+    _check(rel_y)
+    denom = abs(x - y)
+    if denom == 0:
+        return math.inf
+    return (rel_x * abs(x) + rel_y * abs(y)) / denom
+
+
+# ----------------------------------------------------------------------
+# Inverse direction: allocate a composite budget to factors
+# ----------------------------------------------------------------------
+
+def allocate_for_product(target: float, num_factors: int) -> float:
+    """Per-factor relative error so the product bound meets ``target``.
+
+    Solves ``(1 + e)^k - 1 ≤ target`` → ``e = (1+target)^(1/k) - 1``.
+    """
+    if num_factors < 1:
+        raise ErrorSpecError("num_factors must be >= 1")
+    _check(target)
+    return (1.0 + target) ** (1.0 / num_factors) - 1.0
+
+
+def allocate_for_quotient(target: float) -> float:
+    """Per-factor error so ``(e + e)/(1 - e) ≤ target``.
+
+    Solves ``2e/(1-e) = t`` → ``e = t / (2 + t)``.
+    """
+    _check(target)
+    return target / (2.0 + target)
+
+
+def allocate_for_sum(target: float) -> float:
+    """Positive sums are free: each term may use the full budget."""
+    _check(target)
+    return target
+
+
+def _check(e: float) -> None:
+    if e < 0 or math.isnan(e):
+        raise ErrorSpecError(f"relative error must be non-negative, got {e}")
+
+
+# ----------------------------------------------------------------------
+# Expression-level allocation
+# ----------------------------------------------------------------------
+
+def allocate_expression(expr, target: float) -> dict:
+    """Allocate a relative-error budget across the aggregate leaves of a
+    post-aggregation expression tree.
+
+    ``expr`` is an engine :class:`~repro.engine.expressions.Expression`
+    over aggregate-output columns (the binder's ``output_items`` form).
+    Returns ``{agg_alias: allocated_relative_error}``. Conservative: it
+    descends products/quotients with the bounds above, treats additions of
+    aggregates with :func:`allocate_for_sum`, and assigns the full budget
+    to a bare aggregate reference.
+    """
+    from ..engine.expressions import BinaryOp, Column, Literal, UnaryOp
+
+    allocation: dict = {}
+
+    def visit(node, budget: float) -> None:
+        if isinstance(node, Column):
+            prev = allocation.get(node.name)
+            allocation[node.name] = min(prev, budget) if prev is not None else budget
+            return
+        if isinstance(node, Literal):
+            return
+        if isinstance(node, UnaryOp):
+            visit(node.operand, budget)
+            return
+        if isinstance(node, BinaryOp):
+            if node.op == "*":
+                per = allocate_for_product(budget, 2)
+                visit(node.left, per)
+                visit(node.right, per)
+                return
+            if node.op == "/":
+                per = allocate_for_quotient(budget)
+                visit(node.left, per)
+                visit(node.right, per)
+                return
+            if node.op in ("+", "-"):
+                # '-' is handled conservatively like '+' with halved budget;
+                # heavy cancellation is rejected upstream by the advisor.
+                per = budget if node.op == "+" else budget / 2.0
+                visit(node.left, per)
+                visit(node.right, per)
+                return
+        # Unknown structure: be conservative, give every leaf half budget.
+        for child in node.children():
+            visit(child, budget / 2.0)
+
+    visit(expr, target)
+    return allocation

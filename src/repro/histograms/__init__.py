@@ -1,0 +1,6 @@
+"""1-D histograms: equi-width, equi-depth, MaxDiff, V-optimal."""
+
+from .base import Histogram
+from .builders import equi_depth, equi_width, maxdiff, v_optimal
+
+__all__ = ["Histogram", "equi_depth", "equi_width", "maxdiff", "v_optimal"]

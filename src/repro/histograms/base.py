@@ -1,0 +1,102 @@
+"""Common histogram machinery.
+
+All 1-D histograms share bucket structure: boundaries, per-bucket row
+counts and value sums. They answer range COUNT/SUM/AVG queries under the
+*continuous-values assumption* (uniform spread inside a bucket) — an
+a-priori-unbounded heuristic for adversarial data, which is precisely why
+the survey classifies histogram answers as estimates without guarantees
+unless the bucketing rule bounds intra-bucket variation (V-optimal,
+MaxDiff try; equi-width does not).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.exceptions import SynopsisError
+
+
+@dataclass
+class Histogram:
+    """Bucketed summary of one numeric column."""
+
+    #: bucket boundaries, length = num_buckets + 1; buckets are
+    #: [bounds[i], bounds[i+1]) except the last which is closed.
+    bounds: np.ndarray
+    counts: np.ndarray
+    sums: np.ndarray
+    kind: str = "histogram"
+
+    def __post_init__(self) -> None:
+        self.bounds = np.asarray(self.bounds, dtype=np.float64)
+        self.counts = np.asarray(self.counts, dtype=np.float64)
+        self.sums = np.asarray(self.sums, dtype=np.float64)
+        if len(self.bounds) != len(self.counts) + 1:
+            raise SynopsisError("bounds must have len(counts)+1 entries")
+        if len(self.counts) != len(self.sums):
+            raise SynopsisError("counts and sums must align")
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total_rows(self) -> float:
+        return float(np.sum(self.counts))
+
+    def memory_entries(self) -> int:
+        """Stored numbers (bounds + counts + sums)."""
+        return len(self.bounds) + 2 * self.num_buckets
+
+    # ------------------------------------------------------------------
+    # Range queries (continuous-values assumption)
+    # ------------------------------------------------------------------
+    def _overlap_fractions(self, low: float, high: float) -> np.ndarray:
+        """Fraction of each bucket's width covered by [low, high]."""
+        b_lo = self.bounds[:-1]
+        b_hi = self.bounds[1:]
+        width = np.maximum(b_hi - b_lo, 0.0)
+        inter = np.minimum(high, b_hi) - np.maximum(low, b_lo)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            frac = np.where(width > 0, np.clip(inter, 0.0, None) / np.where(width == 0, 1, width), 0.0)
+        # Zero-width (single-value) buckets: in or out.
+        point = (width == 0) & (b_lo >= low) & (b_lo <= high)
+        frac = np.where(point, 1.0, frac)
+        return np.clip(frac, 0.0, 1.0)
+
+    def range_count(self, low: Optional[float] = None, high: Optional[float] = None) -> float:
+        """Estimated COUNT of rows with value in [low, high]."""
+        lo = self.bounds[0] if low is None else low
+        hi = self.bounds[-1] if high is None else high
+        return float(np.sum(self.counts * self._overlap_fractions(lo, hi)))
+
+    def range_sum(self, low: Optional[float] = None, high: Optional[float] = None) -> float:
+        """Estimated SUM of values in [low, high]."""
+        lo = self.bounds[0] if low is None else low
+        hi = self.bounds[-1] if high is None else high
+        return float(np.sum(self.sums * self._overlap_fractions(lo, hi)))
+
+    def range_avg(self, low: Optional[float] = None, high: Optional[float] = None) -> float:
+        c = self.range_count(low, high)
+        if c == 0:
+            return math.nan
+        return self.range_sum(low, high) / c
+
+    def selectivity(self, low: Optional[float], high: Optional[float]) -> float:
+        total = self.total_rows
+        if total == 0:
+            return 0.0
+        return self.range_count(low, high) / total
+
+
+def bucketize(values: np.ndarray, bounds: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(counts, sums) of ``values`` within each bucket of ``bounds``."""
+    v = np.asarray(values, dtype=np.float64)
+    idx = np.clip(np.searchsorted(bounds, v, side="right") - 1, 0, len(bounds) - 2)
+    counts = np.bincount(idx, minlength=len(bounds) - 1).astype(np.float64)
+    sums = np.bincount(idx, weights=v, minlength=len(bounds) - 1)
+    return counts, sums

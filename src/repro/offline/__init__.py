@@ -1,0 +1,31 @@
+"""Offline (precomputed-synopsis) AQP."""
+
+from .blinkdb import BlinkDBSelector, QueryTemplate, workload_coverage
+from .catalog import SampleEntry, SketchEntry, SynopsisCatalog
+from .maintenance import MaintenanceLog, MaintenanceSimulator, cumulative_overhead
+from .rewriter import OfflineRewriter
+from .sample_seek import (
+    SampleSeekSynopsis,
+    answer_group_by_sum,
+    build_sample_seek,
+    build_seek_index,
+    distribution_precision,
+)
+
+__all__ = [
+    "BlinkDBSelector",
+    "MaintenanceLog",
+    "MaintenanceSimulator",
+    "OfflineRewriter",
+    "QueryTemplate",
+    "SampleEntry",
+    "SampleSeekSynopsis",
+    "SketchEntry",
+    "SynopsisCatalog",
+    "answer_group_by_sum",
+    "build_sample_seek",
+    "build_seek_index",
+    "cumulative_overhead",
+    "distribution_precision",
+    "workload_coverage",
+]

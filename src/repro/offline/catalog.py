@@ -1,0 +1,189 @@
+"""The synopsis catalog.
+
+Offline AQP lives or dies by bookkeeping: which samples/sketches exist,
+what they cover, how stale they are, and how much storage they consume.
+The catalog is deliberately explicit about those four things because the
+survey's main criticism of offline methods — maintenance burden and
+workload sensitivity — is only visible when they are tracked.
+
+A catalog attaches to a :class:`~repro.engine.database.Database`; the
+offline rewriter and the advisor look synopses up through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import SynopsisError
+from ..sampling.base import WeightedSample
+from ..sampling.join_synopsis import JoinSynopsis
+
+
+@dataclass
+class SampleEntry:
+    """One precomputed sample and its provenance."""
+
+    table: str
+    sample: WeightedSample
+    kind: str  # "uniform" | "stratified" | "measure_biased"
+    strata_column: Optional[str] = None
+    measure_column: Optional[str] = None
+    built_at_rows: int = 0
+    #: monotonically increasing refresh counter (for maintenance stats)
+    version: int = 0
+
+    @property
+    def storage_rows(self) -> int:
+        return self.sample.num_rows
+
+    def staleness(self, database) -> float:
+        """Relative growth of the base table since this entry was built."""
+        current = database.table(self.table).num_rows
+        if self.built_at_rows == 0:
+            return float("inf") if current else 0.0
+        return abs(current - self.built_at_rows) / self.built_at_rows
+
+
+@dataclass
+class SketchEntry:
+    """One precomputed sketch over (table, column)."""
+
+    table: str
+    column: str
+    kind: str  # "hll", "countmin", "kmv", "quantile", ...
+    sketch: object
+    built_at_rows: int = 0
+
+    def staleness(self, database) -> float:
+        current = database.table(self.table).num_rows
+        if self.built_at_rows == 0:
+            return float("inf") if current else 0.0
+        return abs(current - self.built_at_rows) / self.built_at_rows
+
+
+class SynopsisCatalog:
+    """Registry of all precomputed synopses for one database."""
+
+    _ATTR = "_repro_synopsis_catalog"
+
+    def __init__(self, database, staleness_threshold: float = 0.1) -> None:
+        self.database = database
+        self.staleness_threshold = staleness_threshold
+        self.samples: List[SampleEntry] = []
+        self.sketches: Dict[Tuple[str, str, str], SketchEntry] = {}
+        self.join_synopses: List[JoinSynopsis] = []
+        setattr(database, self._ATTR, self)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_database(cls, database) -> "SynopsisCatalog":
+        """The database's catalog, creating an empty one if needed."""
+        existing = getattr(database, cls._ATTR, None)
+        if existing is not None:
+            return existing
+        return cls(database)
+
+    # ------------------------------------------------------------------
+    # Samples
+    # ------------------------------------------------------------------
+    def add_sample(self, entry: SampleEntry) -> None:
+        if entry.sample.num_rows == 0:
+            raise SynopsisError("refusing to register an empty sample")
+        self.samples.append(entry)
+
+    def find_sample(
+        self,
+        table: str,
+        group_columns: Sequence[str] = (),
+        require_fresh: bool = True,
+    ) -> Optional[SampleEntry]:
+        """Best sample for ``table`` grouped by ``group_columns``.
+
+        Preference: a stratified sample whose strata column is one of the
+        group columns (group coverage!), then any uniform sample. Stale
+        entries are skipped when ``require_fresh``.
+        """
+        fresh = [
+            e
+            for e in self.samples
+            if e.table == table
+            and (
+                not require_fresh
+                or e.staleness(self.database) <= self.staleness_threshold
+            )
+        ]
+        if group_columns:
+            wanted = set(group_columns)
+            for entry in fresh:
+                if entry.kind != "stratified" or entry.strata_column is None:
+                    continue
+                have = (
+                    {entry.strata_column}
+                    if isinstance(entry.strata_column, str)
+                    else set(entry.strata_column)
+                )
+                # A sample stratified on φ keeps rows for every value
+                # combination of φ, hence covers any group-by over a
+                # subset of φ (BlinkDB's coverage rule).
+                if wanted <= have:
+                    return entry
+            # A uniform sample cannot protect groups; only use it when the
+            # query does not group.
+            return None
+        for entry in fresh:
+            if entry.kind == "uniform":
+                return entry
+        for entry in fresh:
+            if entry.kind == "stratified":
+                return entry  # stratified is still a valid weighted sample
+        return None
+
+    # ------------------------------------------------------------------
+    # Sketches
+    # ------------------------------------------------------------------
+    def add_sketch(self, entry: SketchEntry) -> None:
+        self.sketches[(entry.table, entry.column, entry.kind)] = entry
+
+    def find_sketch(
+        self, table: str, column: str, kind: str, require_fresh: bool = True
+    ) -> Optional[SketchEntry]:
+        entry = self.sketches.get((table, column, kind))
+        if entry is None:
+            return None
+        if require_fresh and entry.staleness(self.database) > self.staleness_threshold:
+            return None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Join synopses
+    # ------------------------------------------------------------------
+    def add_join_synopsis(self, synopsis: JoinSynopsis) -> None:
+        self.join_synopses.append(synopsis)
+
+    def find_join_synopsis(
+        self, fact_table: str, dimensions: Sequence[str]
+    ) -> Optional[JoinSynopsis]:
+        """A synopsis of ``fact_table`` covering at least ``dimensions``."""
+        wanted = set(dimensions)
+        for syn in self.join_synopses:
+            have = {edge.dimension for edge in syn.edges}
+            if syn.fact_table == fact_table and wanted <= have:
+                return syn
+        return None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def storage_rows(self) -> int:
+        """Total rows held by all synopses (the storage budget consumed)."""
+        total = sum(e.storage_rows for e in self.samples)
+        total += sum(s.sample.num_rows for s in self.join_synopses)
+        return total
+
+    def stale_entries(self) -> List[SampleEntry]:
+        return [
+            e
+            for e in self.samples
+            if e.staleness(self.database) > self.staleness_threshold
+        ]

@@ -1,0 +1,172 @@
+"""Maintenance cost accounting for offline synopses.
+
+The survey's sharpest criticism of offline AQP is not accuracy — it is
+the *cumulative* cost of keeping synopses valid while the base data
+changes. This module simulates that: it applies an insert stream to a
+database, lets a refresh policy decide when each synopsis is rebuilt, and
+charges every rebuild its full construction cost. Experiment E8 sweeps
+update rates and shows maintenance overtaking the query-time savings.
+
+Policies implemented:
+
+* ``eager``     — rebuild after every batch (always fresh, max cost);
+* ``threshold`` — rebuild when staleness exceeds the catalog threshold
+  (the common deployment);
+* ``never``     — never rebuild (zero cost, unbounded bias);
+* ``reservoir`` — incrementally fold inserts into uniform samples via
+  reservoir updates (cheap and exact for uniform samples only — the
+  asymmetry is the point: stratified/measure-biased synopses have no such
+  cheap path).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import SynopsisError
+from ..sampling.base import WeightedSample
+from ..sampling.reservoir import ReservoirSampler
+from ..sampling.row import srs_sample
+from ..sampling.stratified import stratified_sample
+from ..storage.cost import scan_cost
+from .catalog import SampleEntry, SynopsisCatalog
+
+POLICIES = ("eager", "threshold", "never", "reservoir")
+
+
+@dataclass
+class MaintenanceLog:
+    """What maintenance happened and what it cost."""
+
+    rebuilds: int = 0
+    incremental_updates: int = 0
+    rows_rescanned: int = 0
+    cost: float = 0.0
+    #: staleness of each entry at every batch boundary (for plots)
+    staleness_series: List[float] = field(default_factory=list)
+
+
+class MaintenanceSimulator:
+    """Applies inserts and maintains catalog samples under a policy."""
+
+    def __init__(
+        self,
+        database,
+        policy: str = "threshold",
+        seed: Optional[int] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise SynopsisError(f"unknown maintenance policy {policy!r}")
+        self.database = database
+        self.policy = policy
+        self.catalog = SynopsisCatalog.for_database(database)
+        self.rng = np.random.default_rng(seed)
+        self.log = MaintenanceLog()
+        #: reservoir state per uniform entry (policy == "reservoir")
+        self._reservoirs: Dict[int, ReservoirSampler] = {}
+
+    # ------------------------------------------------------------------
+    def apply_batch(self, table: str, rows: Mapping[str, Iterable]) -> None:
+        """Insert a batch, then run the maintenance policy."""
+        self.database.append_rows(table, rows)
+        self._maintain(table, rows)
+        worst = max(
+            (e.staleness(self.database) for e in self.catalog.samples if e.table == table),
+            default=0.0,
+        )
+        self.log.staleness_series.append(worst)
+
+    # ------------------------------------------------------------------
+    def _maintain(self, table: str, new_rows: Mapping[str, Iterable]) -> None:
+        for entry in self.catalog.samples:
+            if entry.table != table:
+                continue
+            if self.policy == "never":
+                continue
+            if self.policy == "eager":
+                self._rebuild(entry)
+                continue
+            if self.policy == "threshold":
+                if entry.staleness(self.database) > self.catalog.staleness_threshold:
+                    self._rebuild(entry)
+                continue
+            # reservoir policy
+            if entry.kind == "uniform":
+                self._reservoir_update(entry, new_rows)
+            else:
+                # No incremental path for stratified/biased samples.
+                if entry.staleness(self.database) > self.catalog.staleness_threshold:
+                    self._rebuild(entry)
+
+    def _rebuild(self, entry: SampleEntry) -> None:
+        """Full rebuild: one scan of the base table + redraw."""
+        base = self.database.table(entry.table)
+        if entry.kind == "uniform":
+            entry.sample = srs_sample(base, entry.sample.num_rows, rng=self.rng)
+        elif entry.kind == "stratified":
+            entry.sample = stratified_sample(
+                base,
+                entry.strata_column
+                if isinstance(entry.strata_column, str)
+                else list(entry.strata_column),
+                total_size=entry.sample.num_rows,
+                policy="congress",
+                rng=self.rng,
+            )
+        else:
+            raise SynopsisError(f"cannot rebuild synopsis kind {entry.kind!r}")
+        entry.built_at_rows = base.num_rows
+        entry.version += 1
+        self.log.rebuilds += 1
+        self.log.rows_rescanned += base.num_rows
+        self.log.cost += scan_cost(base.num_blocks, base.num_rows).total
+
+    def _reservoir_update(self, entry: SampleEntry, new_rows: Mapping[str, Iterable]) -> None:
+        """Fold inserted row *indices* into a reservoir, then refresh the
+        sample table from the union of old and new rows.
+
+        Cost charged: only the size of the insert batch (no rescan).
+        """
+        key = id(entry)
+        base = self.database.table(entry.table)
+        batch_len = len(next(iter(new_rows.values())))
+        if key not in self._reservoirs:
+            reservoir = ReservoirSampler(entry.sample.num_rows, seed=int(self.rng.integers(2**31)))
+            # Seed with the rows the current sample represents.
+            reservoir.offer_many(range(entry.built_at_rows))
+            self._reservoirs[key] = reservoir
+        reservoir = self._reservoirs[key]
+        start = base.num_rows - batch_len
+        reservoir.offer_many(range(start, base.num_rows))
+        indices = np.asarray(sorted(int(i) for i in reservoir.sample()), dtype=np.int64)
+        sampled = base.take(indices)
+        weight = base.num_rows / max(len(indices), 1)
+        entry.sample = WeightedSample(
+            table=sampled,
+            weights=np.full(len(indices), weight),
+            method="srs_rows",
+            population_rows=base.num_rows,
+            params={"size": len(indices)},
+        )
+        entry.built_at_rows = base.num_rows
+        entry.version += 1
+        self.log.incremental_updates += 1
+        self.log.cost += batch_len * 0.01  # touch only the new rows
+
+
+def cumulative_overhead(
+    log: MaintenanceLog, queries_served: int, per_query_savings: float
+) -> float:
+    """Net benefit ratio: (query savings − maintenance cost) / savings.
+
+    Falls below 0 when maintenance costs more than approximation saved —
+    the break-even the survey warns about.
+    """
+    savings = queries_served * per_query_savings
+    if savings <= 0:
+        return -math.inf if log.cost > 0 else 0.0
+    return (savings - log.cost) / savings

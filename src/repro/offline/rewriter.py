@@ -1,0 +1,221 @@
+"""Query rewriting onto precomputed samples (the AQUA/VerdictDB move).
+
+Given a bound aggregate query, the rewriter asks the catalog for a sample
+that covers it, evaluates the query's filters/keys directly on the sample
+rows (their HT weights make every linear aggregate unbiased), and checks
+*before answering* whether the resulting CIs meet the error spec — if
+they cannot, it refuses and the advisor moves on. That refusal is the
+honest version of offline AQP's a-priori guarantee: the guarantee only
+exists when the precomputed sample happens to be big and relevant enough.
+
+Coverage rules (deliberately conservative, as in the real systems):
+
+* single-table queries: a fresh sample of that table, stratified on the
+  group-by column when the query groups;
+* FK-join queries: a join synopsis of the largest (fact) table covering
+  every joined dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errorspec import ErrorSpec
+from ..core.exceptions import InfeasiblePlanError, UnsupportedQueryError
+from ..core.result import ApproximateResult
+from ..engine import expressions as E
+from ..engine.executor import ExecutionStats
+from ..engine.table import Table
+from ..online.estimation import (
+    estimate_groups_row_level,
+    project_output_with_intervals,
+)
+from ..sql.binder import BoundQuery
+from ..storage import blocks as blockio
+from ..storage.cost import aggregation_cost, scan_cost
+from .catalog import SynopsisCatalog
+
+
+class OfflineRewriter:
+    """Answers queries from catalog samples when coverage allows."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+        self.catalog = SynopsisCatalog.for_database(database)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, bound: BoundQuery, spec: ErrorSpec, seed: Optional[int] = None
+    ) -> ApproximateResult:
+        self._check_supported(bound)
+        sample_table, weights, provenance = self._find_covering_sample(bound)
+        estimates = estimate_groups_row_level(bound, sample_table, weights)
+        if not estimates:
+            raise InfeasiblePlanError("the precomputed sample has no matching rows")
+        out_table, ci_low, ci_high = project_output_with_intervals(
+            bound, spec, estimates
+        )
+        self._check_spec_met(bound, spec, out_table, ci_low, ci_high)
+        stats = ExecutionStats()
+        stats.rows_scanned = sample_table.num_rows
+        stats.agg_input_rows = sample_table.num_rows
+        approx_cost = aggregation_cost(sample_table.num_rows).total + scan_cost(
+            max(sample_table.num_rows // 1024, 1), sample_table.num_rows
+        ).total
+        exact_cost = self._exact_cost(bound)
+        return ApproximateResult(
+            table=out_table,
+            stats=stats,
+            spec=spec,
+            technique="offline_sample",
+            ci_low=ci_low,
+            ci_high=ci_high,
+            fraction_scanned=0.0,  # no base-table blocks touched
+            approx_cost=approx_cost,
+            exact_cost=exact_cost,
+            diagnostics=provenance,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_supported(self, bound: BoundQuery) -> None:
+        if not bound.is_aggregate:
+            raise UnsupportedQueryError("offline samples answer aggregates only")
+        for agg in bound.aggregates:
+            if not agg.is_linear:
+                raise UnsupportedQueryError(
+                    f"offline samples cannot answer {agg.func.upper()}"
+                )
+
+    def _find_covering_sample(
+        self, bound: BoundQuery
+    ) -> Tuple[Table, np.ndarray, Dict[str, object]]:
+        """Locate a covering synopsis and present it under the query's
+        qualified column names."""
+        if len(bound.tables) == 1:
+            target = bound.tables[0]
+            group_cols = self._group_columns(bound, target.alias)
+            entry = self.catalog.find_sample(
+                target.name, group_columns=group_cols or ()
+            )
+            if entry is None:
+                raise InfeasiblePlanError(
+                    f"no fresh covering sample for table {target.name!r}"
+                )
+            qualified = entry.sample.table.rename(
+                {c: f"{target.alias}.{c}" for c in entry.sample.table.column_names}
+            )
+            filtered, weights = self._apply_where(bound, qualified, entry.sample.weights)
+            return filtered, weights, {
+                "synopsis": entry.kind,
+                "table": entry.table,
+                "strata_column": entry.strata_column,
+                "sample_rows": entry.storage_rows,
+                "version": entry.version,
+            }
+        # Multi-table: try a join synopsis rooted at the largest table.
+        fact = max(bound.tables, key=lambda t: t.num_rows)
+        dims = [t.name for t in bound.tables if t.name != fact.name]
+        synopsis = self.catalog.find_join_synopsis(fact.name, dims)
+        if synopsis is None:
+            raise InfeasiblePlanError(
+                f"no join synopsis covers fact {fact.name!r} with dimensions {dims}"
+            )
+        if (
+            abs(
+                self.database.table(fact.name).num_rows - synopsis.built_at_rows
+            )
+            / max(synopsis.built_at_rows, 1)
+            > self.catalog.staleness_threshold
+        ):
+            raise InfeasiblePlanError("join synopsis is stale")
+        qualified = self._qualify_join_synopsis(bound, synopsis, fact.alias)
+        filtered, weights = self._apply_where(
+            bound, qualified, synopsis.sample.weights
+        )
+        return filtered, weights, {
+            "synopsis": "join_synopsis",
+            "fact_table": fact.name,
+            "dimensions": dims,
+            "sample_rows": synopsis.sample.num_rows,
+        }
+
+    def _qualify_join_synopsis(
+        self, bound: BoundQuery, synopsis, fact_alias: str
+    ) -> Table:
+        """Rename synopsis columns to the query's qualified names.
+
+        The synopsis stores fact columns bare and dimension columns as
+        ``<dimension>.<col>``; the query wants ``<alias>.<col>`` per the
+        FROM-clause aliases.
+        """
+        alias_of = {t.name: t.alias for t in bound.tables}
+        mapping: Dict[str, str] = {}
+        for col in synopsis.sample.table.column_names:
+            if "." in col:
+                dim, raw = col.split(".", 1)
+                mapping[col] = f"{alias_of.get(dim, dim)}.{raw}"
+            else:
+                mapping[col] = f"{fact_alias}.{col}"
+        return synopsis.sample.table.rename(mapping)
+
+    def _group_columns(self, bound: BoundQuery, alias: str) -> Optional[List[str]]:
+        if not bound.group_keys:
+            return None
+        prefix = f"{alias}."
+        out = []
+        for expr, _ in bound.group_keys:
+            if not isinstance(expr, E.Column) or not expr.name.startswith(prefix):
+                raise InfeasiblePlanError(
+                    "offline samples only cover group-bys on base columns"
+                )
+            out.append(expr.name[len(prefix):])
+        return out
+
+    def _apply_where(
+        self, bound: BoundQuery, table: Table, weights: np.ndarray
+    ) -> Tuple[Table, np.ndarray]:
+        if bound.where is None:
+            return table, np.asarray(weights, dtype=np.float64)
+        missing = [c for c in bound.where.columns() if c not in table]
+        if missing:
+            raise InfeasiblePlanError(
+                f"sample does not carry predicate columns {missing}"
+            )
+        mask = np.asarray(bound.where.evaluate(table), dtype=bool)
+        return table.take(mask), np.asarray(weights, dtype=np.float64)[mask]
+
+    def _check_spec_met(
+        self,
+        bound: BoundQuery,
+        spec: ErrorSpec,
+        table: Table,
+        ci_low: Dict[str, np.ndarray],
+        ci_high: Dict[str, np.ndarray],
+    ) -> None:
+        """A-priori gate: refuse if any CI is wider than the spec allows."""
+        for alias, lows in ci_low.items():
+            highs = ci_high[alias]
+            values = np.asarray(table[alias], dtype=np.float64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                half = (highs - lows) / 2.0
+                rel = np.where(values != 0, half / np.abs(values), math.inf)
+            if np.any(~np.isfinite(rel)) or np.any(rel > spec.relative_error):
+                raise InfeasiblePlanError(
+                    f"precomputed sample is too small for ±"
+                    f"{spec.relative_error:.1%} on {alias!r}"
+                )
+
+    def _exact_cost(self, bound: BoundQuery) -> float:
+        total = 0.0
+        for t in bound.tables:
+            table = self.database.table(t.name)
+            total += scan_cost(table.num_blocks, table.num_rows).total
+        biggest = max(
+            (self.database.table(t.name).num_rows for t in bound.tables),
+            default=0,
+        )
+        total += aggregation_cost(biggest).total
+        return total

@@ -1,0 +1,24 @@
+"""Online (query-time) AQP: pilot planning, Quickr, OLA, ripple joins."""
+
+from .idea import CacheEntry, CacheStats, ReuseCache
+from .ola import OLASnapshot, OnlineAggregator, peeking_coverage
+from .pilot import PilotPlanner, SamplingPlan
+from .quickr import QuickrPlanner
+from .ripple import RippleJoin, RippleSnapshot
+from .wander import WanderJoin, WanderSnapshot
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "OLASnapshot",
+    "OnlineAggregator",
+    "PilotPlanner",
+    "QuickrPlanner",
+    "ReuseCache",
+    "RippleJoin",
+    "RippleSnapshot",
+    "SamplingPlan",
+    "WanderJoin",
+    "WanderSnapshot",
+    "peeking_coverage",
+]

@@ -1,0 +1,163 @@
+"""Online aggregation (Hellerstein, Haas, Wang 1997).
+
+Instead of one answer after a long wait, OLA streams rows in random order
+and keeps a running estimate with a shrinking confidence interval; the
+user stops when the interval is tight enough. The trade the survey
+emphasizes: the interval is only valid *at a fixed stopping time* — if
+the user stops the moment the CI first looks good ("peeking"), realized
+coverage drops below nominal, which experiment E13 measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..core.errorspec import z_value
+from ..core.exceptions import PlanError
+from ..engine.table import Table
+from ..estimators.closed_form import Estimate, srs_mean, srs_sum
+
+
+@dataclass
+class OLASnapshot:
+    """State of a running aggregate after ``rows_seen`` rows."""
+
+    rows_seen: int
+    fraction_seen: float
+    value: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.value == 0:
+            return math.inf
+        return (self.ci_high - self.ci_low) / 2.0 / abs(self.value)
+
+
+class OnlineAggregator:
+    """Progressive SUM/AVG/COUNT over a randomly permuted table.
+
+    The random permutation is the statistical heart of OLA: a prefix of a
+    random permutation is an SRS of the table, so SRS estimators apply at
+    every step. ``mask_column``-style filtering is handled by passing a
+    boolean predicate mask.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        value_column: Optional[str],
+        agg: str = "sum",
+        predicate_mask: Optional[np.ndarray] = None,
+        confidence: float = 0.95,
+        seed: Optional[int] = None,
+    ) -> None:
+        if agg not in ("sum", "avg", "count"):
+            raise PlanError(f"OLA supports sum/avg/count, not {agg!r}")
+        if agg != "count" and value_column is None:
+            raise PlanError(f"{agg} requires a value column")
+        self.table = table
+        self.agg = agg
+        self.confidence = confidence
+        rng = np.random.default_rng(seed)
+        self._order = rng.permutation(table.num_rows)
+        values = (
+            np.asarray(table[value_column], dtype=np.float64)
+            if value_column is not None
+            else np.ones(table.num_rows)
+        )
+        mask = (
+            np.asarray(predicate_mask, dtype=bool)
+            if predicate_mask is not None
+            else np.ones(table.num_rows, dtype=bool)
+        )
+        # Pre-permute so iteration is just slicing a prefix.
+        self._values = np.where(mask, values, 0.0)[self._order]
+        self._matches = mask[self._order].astype(np.float64)
+        self._population = table.num_rows
+
+    # ------------------------------------------------------------------
+    def snapshot(self, rows_seen: int) -> OLASnapshot:
+        """Estimate from the first ``rows_seen`` rows of the permutation."""
+        n = min(max(rows_seen, 1), self._population)
+        prefix_vals = self._values[:n]
+        prefix_match = self._matches[:n]
+        if self.agg == "sum":
+            est = srs_sum(prefix_vals, self._population)
+        elif self.agg == "count":
+            est = srs_sum(prefix_match, self._population)
+        else:  # avg over matching rows: ratio estimator
+            from ..estimators.closed_form import ratio_estimate
+
+            est = ratio_estimate(prefix_vals, prefix_match)
+        lo, hi = est.ci(self.confidence)
+        return OLASnapshot(
+            rows_seen=n,
+            fraction_seen=n / self._population,
+            value=est.value,
+            ci_low=lo,
+            ci_high=hi,
+        )
+
+    def run(
+        self,
+        batch_size: int = 1000,
+        target_relative_error: Optional[float] = None,
+        max_fraction: float = 1.0,
+    ) -> Iterator[OLASnapshot]:
+        """Yield snapshots batch by batch; stop at the target CI width (if
+        given) or after ``max_fraction`` of the table."""
+        limit = int(self._population * max_fraction)
+        seen = 0
+        while seen < limit:
+            seen = min(seen + batch_size, limit)
+            snap = self.snapshot(seen)
+            yield snap
+            if (
+                target_relative_error is not None
+                and snap.relative_half_width <= target_relative_error
+            ):
+                return
+
+    def run_to_target(
+        self, target_relative_error: float, batch_size: int = 1000
+    ) -> OLASnapshot:
+        """Convenience: iterate until the CI meets the target (or data ends)."""
+        last: Optional[OLASnapshot] = None
+        for snap in self.run(
+            batch_size=batch_size, target_relative_error=target_relative_error
+        ):
+            last = snap
+        assert last is not None
+        return last
+
+
+def peeking_coverage(
+    population: np.ndarray,
+    target_relative_error: float,
+    confidence: float = 0.95,
+    num_trials: int = 200,
+    batch_size: int = 200,
+    seed: int = 0,
+) -> float:
+    """Empirical coverage when stopping at the *first* time the CI looks
+    good — the peeking fallacy. Returns the fraction of trials whose final
+    interval contains the true sum; expect it below ``confidence``."""
+    rng = np.random.default_rng(seed)
+    table = Table({"v": population})
+    truth = float(np.sum(population))
+    hits = 0
+    for trial in range(num_trials):
+        ola = OnlineAggregator(
+            table, "v", agg="sum", confidence=confidence,
+            seed=int(rng.integers(2**31)),
+        )
+        snap = ola.run_to_target(target_relative_error, batch_size=batch_size)
+        if snap.ci_low <= truth <= snap.ci_high:
+            hits += 1
+    return hits / num_trials

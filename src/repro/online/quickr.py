@@ -1,0 +1,227 @@
+"""Quickr-style query-time sampling (lazy approximation).
+
+Quickr's deal, per the survey: zero precomputation, at most one pass over
+the data, samplers *injected into the plan* at optimization time using
+plan statistics — and in exchange, only a-posteriori error estimates (the
+system reports the error it achieved; it cannot promise one upfront).
+
+Our reimplementation keeps the decision structure:
+
+* the sampler goes on the largest input (deepest, so one pass suffices);
+* the **uniform** sampler is the default; the **distinct** sampler is
+  chosen when the query groups by columns of the sampled table whose
+  group count is large enough that uniform sampling would lose groups
+  (Quickr's "sampler dominance" escape hatch for group coverage);
+* downstream operators run unchanged on the weighted sample; estimates
+  use Horvitz–Thompson weights carried in a hidden column.
+
+Cost accounting honors the one-pass model: Quickr is charged a full scan
+of the sampled table (its sampler reads everything once) plus the reduced
+downstream work — which is why its speedups are real but bounded, one of
+the trade-offs experiment E9 measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errorspec import ErrorSpec
+from ..core.exceptions import InfeasiblePlanError, UnsupportedQueryError
+from ..core.result import ApproximateResult
+from ..engine import expressions as E
+from ..engine.aggregates import AggregateSpec, encode_groups
+from ..engine.optimizer import optimize_plan
+from ..engine.plan import PlanNode, Scan, transform_plan
+from ..engine.table import Table
+from ..estimators.closed_form import Estimate
+from ..sampling.distinct import distinct_sample
+from ..sampling.row import bernoulli_sample
+from ..sql.binder import BoundQuery, BoundTable
+from ..storage.cost import aggregation_cost, scan_cost
+from .estimation import (
+    GroupEstimates,
+    estimate_groups_row_level,
+    expanded_aggregates,
+    project_output_with_intervals,
+)
+
+#: Default sampling rate when the spec does not force more data. Quickr
+#: picks rates from plan statistics; 10% matches its published default.
+DEFAULT_RATE = 0.1
+
+#: Use the distinct sampler once the group-by column(s) exceed this many
+#: distinct values on the sampled table.
+DISTINCT_SAMPLER_NDV_THRESHOLD = 50
+
+MIN_SAMPLABLE_ROWS = 10_000
+
+
+class QuickrPlanner:
+    """Injects a sampler into the query plan and estimates a-posteriori."""
+
+    def __init__(
+        self,
+        database,
+        rate: float = DEFAULT_RATE,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not (0.0 < rate <= 1.0):
+            raise ValueError("rate must be in (0, 1]")
+        self.database = database
+        self.rate = rate
+        self.rng = np.random.default_rng(seed)
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    def run(self, bound: BoundQuery, spec: ErrorSpec) -> ApproximateResult:
+        self._check_supported(bound)
+        target = self._choose_table(bound)
+        sampler_kind, sample = self._draw_sample(bound, target)
+        result = self._execute_on_sample(bound, spec, target, sample, sampler_kind)
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_supported(self, bound: BoundQuery) -> None:
+        if not bound.is_aggregate:
+            raise UnsupportedQueryError("Quickr requires an aggregate query")
+        for agg in bound.aggregates:
+            if not agg.is_linear:
+                raise UnsupportedQueryError(
+                    f"Quickr cannot sample through {agg.func.upper()}"
+                )
+
+    def _choose_table(self, bound: BoundQuery) -> BoundTable:
+        candidates = [t for t in bound.tables if t.num_rows >= MIN_SAMPLABLE_ROWS]
+        if not candidates:
+            raise InfeasiblePlanError("all inputs are too small to sample")
+        return max(candidates, key=lambda t: t.num_rows)
+
+    def _group_columns_on_target(
+        self, bound: BoundQuery, target: BoundTable
+    ) -> Optional[List[str]]:
+        """Raw column names if every group key is a bare column of the
+        sampled table; else None (distinct sampler not applicable)."""
+        if not bound.group_keys:
+            return None
+        prefix = f"{target.alias}."
+        raw: List[str] = []
+        for expr, _ in bound.group_keys:
+            if not isinstance(expr, E.Column) or not expr.name.startswith(prefix):
+                return None
+            raw.append(expr.name[len(prefix):])
+        return raw
+
+    def _draw_sample(self, bound: BoundQuery, target: BoundTable):
+        table = self.database.table(target.name)
+        group_cols = self._group_columns_on_target(bound, target)
+        use_distinct = False
+        if group_cols:
+            stats = self.database.stats(target.name)
+            ndv = 1
+            for c in group_cols:
+                col = stats.column(c)
+                ndv *= col.num_distinct if col else 1
+            use_distinct = ndv >= DISTINCT_SAMPLER_NDV_THRESHOLD
+        if use_distinct:
+            sample = distinct_sample(
+                table, group_cols, self.rate, frequency_cap=10, rng=self.rng
+            )
+            return "distinct", sample
+        return "uniform", bernoulli_sample(table, self.rate, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    def _execute_on_sample(
+        self,
+        bound: BoundQuery,
+        spec: ErrorSpec,
+        target: BoundTable,
+        sample,
+        sampler_kind: str,
+    ) -> ApproximateResult:
+        weight_col = "__weight"
+        temp_name = self._register_temp(sample.table.with_column(weight_col, sample.weights))
+        try:
+            swapped = _swap_scan(bound.pre_agg_plan, target.name, temp_name)
+            pre_agg, stats = self.database.execute(
+                optimize_plan(swapped, self.database), optimize=False
+            )
+            estimates = estimate_groups_row_level(
+                bound, pre_agg, pre_agg[f"{target.alias}.{weight_col}"]
+            )
+            out_table, ci_low, ci_high = project_output_with_intervals(
+                bound, spec, estimates
+            )
+        finally:
+            self.database.drop_table(temp_name)
+        base = self.database.table(target.name)
+        one_pass = scan_cost(base.num_blocks, base.num_rows).total
+        downstream = stats.simulated_cost(self.database.cost_params).cpu
+        approx_cost = one_pass + downstream
+        exact_cost = (
+            scan_cost(base.num_blocks, base.num_rows).total
+            + aggregation_cost(base.num_rows).total
+        )
+        met = _met_spec(bound, spec, out_table, ci_low, ci_high)
+        return ApproximateResult(
+            table=out_table,
+            stats=stats,
+            spec=spec,
+            technique="quickr",
+            ci_low=ci_low,
+            ci_high=ci_high,
+            fraction_scanned=1.0,  # one full pass, by design
+            approx_cost=approx_cost,
+            exact_cost=exact_cost,
+            diagnostics={
+                "sampler": sampler_kind,
+                "rate": self.rate,
+                "sampled_table": target.name,
+                "sample_rows": sample.num_rows,
+                "met_spec": met,
+                "guarantee": "a_posteriori",
+            },
+        )
+
+    def _register_temp(self, table: Table) -> str:
+        self._temp_counter += 1
+        name = f"__quickr_tmp_{self._temp_counter}"
+        while self.database.has_table(name):
+            self._temp_counter += 1
+            name = f"__quickr_tmp_{self._temp_counter}"
+        self.database.create_table(name, table)
+        return name
+
+
+def _swap_scan(plan: PlanNode, old_table: str, new_table: str) -> PlanNode:
+    """Replace scans of ``old_table`` with scans of ``new_table`` keeping
+    the alias (so qualified column names downstream stay valid)."""
+
+    def rewrite(node: PlanNode):
+        if isinstance(node, Scan) and node.table_name == old_table:
+            return replace(node, table_name=new_table, columns=None, sample=None)
+        return None
+
+    return transform_plan(plan, rewrite)
+
+
+def _met_spec(
+    bound: BoundQuery,
+    spec: ErrorSpec,
+    table: Table,
+    ci_low: Dict[str, np.ndarray],
+    ci_high: Dict[str, np.ndarray],
+) -> bool:
+    """Did the a-posteriori CIs come in under the requested error?"""
+    for alias, lows in ci_low.items():
+        highs = ci_high[alias]
+        values = np.asarray(table[alias], dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            half = (highs - lows) / 2.0
+            rel = np.where(values != 0, half / np.abs(values), np.inf)
+        if np.any(rel > spec.relative_error):
+            return False
+    return True

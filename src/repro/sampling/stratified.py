@@ -1,0 +1,220 @@
+"""Stratified sampling with the classic allocation policies.
+
+Uniform samples starve small groups; stratified samples fix that by
+drawing a guaranteed number of rows *per stratum*. The allocation policies
+implemented here are the ones the offline-AQP literature converged on:
+
+* ``proportional`` — stratum share of the sample equals its share of the
+  table (equivalent to uniform in expectation; baseline).
+* ``senate`` — equal rows per stratum, maximizing worst-group accuracy
+  (the "every state gets two senators" allocation).
+* ``congress`` — BlinkDB/Congress hybrid: the maximum of senate and
+  proportional shares, renormalized; protects small groups while keeping
+  large groups accurate.
+* ``neyman`` — variance-optimal for a chosen measure column: allocation
+  proportional to ``N_h · σ_h``.
+
+Each stratum is sampled by SRS without replacement; weights are
+``N_h / n_h`` so HT estimation works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import SynopsisError
+from ..engine.table import Table
+from ..estimators.closed_form import Estimate
+from .base import WeightedSample
+
+ALLOCATIONS = ("proportional", "senate", "congress", "neyman")
+
+
+@dataclass
+class StratumInfo:
+    """Bookkeeping for one stratum after sampling."""
+
+    key: object
+    population: int
+    allocated: int
+    drawn: int
+
+    @property
+    def weight(self) -> float:
+        return self.population / self.drawn if self.drawn else float("inf")
+
+
+def allocate(
+    stratum_sizes: Sequence[int],
+    total_sample: int,
+    policy: str = "proportional",
+    stratum_stds: Optional[Sequence[float]] = None,
+    min_per_stratum: int = 1,
+) -> List[int]:
+    """Compute per-stratum sample sizes under ``policy``.
+
+    Sizes are capped at the stratum population and floored at
+    ``min_per_stratum`` (where the population allows), then the largest
+    fractional remainders absorb rounding drift so the result sums to at
+    most ``total_sample`` (capping may leave it below).
+    """
+    if policy not in ALLOCATIONS:
+        raise SynopsisError(f"unknown allocation policy {policy!r}")
+    sizes = np.asarray(stratum_sizes, dtype=np.float64)
+    h = len(sizes)
+    if h == 0:
+        return []
+    if policy == "neyman":
+        if stratum_stds is None:
+            raise SynopsisError("neyman allocation requires stratum_stds")
+        stds = np.asarray(stratum_stds, dtype=np.float64)
+        mass = sizes * np.maximum(stds, 1e-12)
+    elif policy == "proportional":
+        mass = sizes.copy()
+    elif policy == "senate":
+        mass = np.ones(h)
+    else:  # congress
+        prop = sizes / sizes.sum()
+        senate = np.ones(h) / h
+        mass = np.maximum(prop, senate)
+    mass = mass / mass.sum()
+    raw = mass * total_sample
+    alloc = np.floor(raw).astype(np.int64)
+    # Distribute remainders to the largest fractional parts.
+    remainder = int(total_sample - alloc.sum())
+    if remainder > 0:
+        order = np.argsort(raw - alloc)[::-1]
+        alloc[order[:remainder]] += 1
+    # Apply floors and caps.
+    alloc = np.maximum(alloc, min_per_stratum)
+    alloc = np.minimum(alloc, sizes.astype(np.int64))
+    return alloc.tolist()
+
+
+def stratified_sample(
+    table: Table,
+    strata_column,
+    total_size: int,
+    policy: str = "congress",
+    measure_column: Optional[str] = None,
+    min_per_stratum: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> WeightedSample:
+    """Draw a stratified sample keyed on ``strata_column``.
+
+    ``strata_column`` may be a single column name or a sequence of names
+    (composite strata — BlinkDB's multi-column query column sets).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if isinstance(strata_column, str):
+        keys = table[strata_column]
+        uniq, inverse = np.unique(keys, return_inverse=True)
+    else:
+        from ..engine.aggregates import encode_groups
+
+        inverse, key_tuples = encode_groups([table[c] for c in strata_column])
+        uniq = np.empty(len(key_tuples), dtype=object)
+        uniq[:] = key_tuples
+    counts = np.bincount(inverse, minlength=len(uniq))
+    stds = None
+    if policy == "neyman":
+        if measure_column is None:
+            raise SynopsisError("neyman allocation requires measure_column")
+        values = np.asarray(table[measure_column], dtype=np.float64)
+        sums = np.bincount(inverse, weights=values, minlength=len(uniq))
+        sumsq = np.bincount(inverse, weights=values * values, minlength=len(uniq))
+        with np.errstate(invalid="ignore"):
+            means = sums / counts
+            var = np.maximum(sumsq / counts - means * means, 0.0)
+        stds = np.sqrt(var)
+    alloc = allocate(
+        counts.tolist(),
+        total_size,
+        policy=policy,
+        stratum_stds=stds,
+        min_per_stratum=min_per_stratum,
+    )
+    pieces: List[np.ndarray] = []
+    weight_pieces: List[np.ndarray] = []
+    strata: List[StratumInfo] = []
+    for s, key in enumerate(uniq):
+        members = np.flatnonzero(inverse == s)
+        n_h = int(alloc[s])
+        if n_h >= len(members):
+            chosen = members
+        else:
+            chosen = rng.choice(members, size=n_h, replace=False)
+        pieces.append(np.sort(chosen))
+        weight_pieces.append(np.full(len(chosen), len(members) / max(len(chosen), 1)))
+        strata.append(
+            StratumInfo(
+                key=key if not hasattr(key, "item") else key.item(),
+                population=len(members),
+                allocated=n_h,
+                drawn=len(chosen),
+            )
+        )
+    idx = np.concatenate(pieces) if pieces else np.array([], dtype=np.int64)
+    order = np.argsort(idx)
+    idx = idx[order]
+    weights = (
+        np.concatenate(weight_pieces)[order] if weight_pieces else np.array([])
+    )
+    return WeightedSample(
+        table=table.take(idx),
+        weights=weights,
+        method=f"stratified:{policy}",
+        population_rows=table.num_rows,
+        params={
+            "strata_column": strata_column,
+            "policy": policy,
+            "strata": strata,
+            "total_size": total_size,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-group estimation from a stratified sample
+# ----------------------------------------------------------------------
+
+def group_estimates(
+    sample: WeightedSample,
+    group_column: str,
+    value_column: Optional[str],
+    agg: str = "sum",
+) -> Dict[object, Estimate]:
+    """Per-group SUM/COUNT/AVG estimates with stratum-correct variance.
+
+    Assumes groups align with strata (the common deployment: stratify on
+    the group-by column). For each group the sample is an SRS of the
+    group, so SRS formulas with FPC apply within the group.
+    """
+    from ..estimators.closed_form import srs_mean, srs_sum
+
+    strata: List[StratumInfo] = sample.params["strata"]  # type: ignore[assignment]
+    by_key = {s.key: s for s in strata}
+    keys = sample.table[group_column]
+    uniq = np.unique(keys)
+    out: Dict[object, Estimate] = {}
+    for key in uniq:
+        mask = keys == key
+        k = key.item() if hasattr(key, "item") else key
+        info = by_key.get(k)
+        pop = info.population if info is not None else int(mask.sum())
+        if agg == "count":
+            drawn = int(mask.sum())
+            out[k] = Estimate(float(pop), 0.0, drawn, estimator="stratified_count")
+            continue
+        values = np.asarray(sample.table[value_column], dtype=np.float64)[mask]
+        if agg == "sum":
+            out[k] = srs_sum(values, pop)
+        elif agg == "avg":
+            out[k] = srs_mean(values, pop)
+        else:
+            raise SynopsisError(f"unsupported per-group aggregate {agg!r}")
+    return out

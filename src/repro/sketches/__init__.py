@@ -1,0 +1,24 @@
+"""Sketch synopses: tiny, mergeable, per-aggregate-specialized."""
+
+from .ams import AMSSketch
+from .bloom import BloomFilter
+from .countmin import CountMinSketch
+from .countsketch import CountSketch
+from .fm import FlajoletMartin
+from .hyperloglog import HyperLogLog, hll_from_column
+from .kmv import KMVSketch
+from .quantiles import GKQuantileSketch
+from .spacesaving import SpaceSaving
+
+__all__ = [
+    "AMSSketch",
+    "BloomFilter",
+    "CountMinSketch",
+    "CountSketch",
+    "FlajoletMartin",
+    "GKQuantileSketch",
+    "HyperLogLog",
+    "KMVSketch",
+    "SpaceSaving",
+    "hll_from_column",
+]

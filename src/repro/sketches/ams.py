@@ -1,0 +1,89 @@
+"""AMS (Alon–Matias–Szegedy 1996) F₂ sketches.
+
+The second frequency moment ``F₂ = Σ f(x)²`` is the self-join size — the
+quantity join-size estimation and skew detection need. The AMS "tug of
+war" sketch maintains ``depth × width`` random-sign counters; each row's
+mean-of-squares is an unbiased F₂ estimate and the median over rows gives
+the (ε, δ) guarantee. Two sketches with shared randomness also yield an
+unbiased estimate of the *join size* Σ f(x)·g(x).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.exceptions import MergeError
+from .hashing import hash64
+
+
+class AMSSketch:
+    """Tug-of-war sketch for F₂ and join sizes."""
+
+    def __init__(self, depth: int = 7, width: int = 64, seed: int = 0) -> None:
+        if depth < 1 or width < 1:
+            raise ValueError("depth and width must be positive")
+        self.depth = depth
+        self.width = width
+        self.seed = seed
+        self.counters = np.zeros((depth, width), dtype=np.float64)
+        self.total = 0
+
+    def _signs(self, arr: np.ndarray, row: int, col: int) -> np.ndarray:
+        bits = hash64(arr, seed=self.seed * 4000 + row * 131 + col) & np.uint64(1)
+        return np.where(bits.astype(bool), 1.0, -1.0)
+
+    def add(self, values: Iterable, counts: Optional[np.ndarray] = None) -> None:
+        arr = np.asarray(values if not np.isscalar(values) else [values])
+        if len(arr) == 0:
+            return
+        if counts is None:
+            counts = np.ones(len(arr), dtype=np.float64)
+        else:
+            counts = np.asarray(counts, dtype=np.float64)
+        for row in range(self.depth):
+            for col in range(self.width):
+                self.counters[row, col] += float(
+                    np.sum(self._signs(arr, row, col) * counts)
+                )
+        self.total += int(counts.sum())
+
+    # ------------------------------------------------------------------
+    def second_moment(self) -> float:
+        """Median-of-means F₂ estimate."""
+        per_row = np.mean(self.counters**2, axis=1)
+        return float(np.median(per_row))
+
+    def join_size(self, other: "AMSSketch") -> float:
+        """Unbiased estimate of Σ_x f(x)·g(x) (equi-join output size)."""
+        if (
+            other.depth != self.depth
+            or other.width != self.width
+            or other.seed != self.seed
+        ):
+            raise MergeError("AMS join size requires identical shape and seed")
+        per_row = np.mean(self.counters * other.counters, axis=1)
+        return float(np.median(per_row))
+
+    def merge(self, other: "AMSSketch") -> "AMSSketch":
+        """Sketch of the concatenated streams (counters add)."""
+        if (
+            other.depth != self.depth
+            or other.width != self.width
+            or other.seed != self.seed
+        ):
+            raise MergeError("AMS merge requires identical shape and seed")
+        merged = AMSSketch(self.depth, self.width, seed=self.seed)
+        merged.counters = self.counters + other.counters
+        merged.total = self.total + other.total
+        return merged
+
+    def memory_bytes(self) -> int:
+        return int(self.counters.nbytes)
+
+    @property
+    def relative_standard_error(self) -> float:
+        """Per-row F₂ estimator has relative std ≈ sqrt(2/width)."""
+        return math.sqrt(2.0 / self.width)

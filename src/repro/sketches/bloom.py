@@ -1,0 +1,91 @@
+"""Bloom filters.
+
+Membership synopses: no false negatives, tunable false-positive rate.
+In AQP pipelines they pre-filter semi-joins ("does this key exist on the
+other side at all?") before any sampling happens, and they illustrate the
+survey's point that synopses answer *decision* queries sampling handles
+poorly (a uniform sample can only bound membership probabilistically).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..core.exceptions import MergeError
+from .hashing import hash64
+
+
+def optimal_parameters(expected_items: int, fp_rate: float) -> tuple:
+    """(num_bits, num_hashes) minimizing space for the target FP rate."""
+    if expected_items < 1:
+        raise ValueError("expected_items must be >= 1")
+    if not (0.0 < fp_rate < 1.0):
+        raise ValueError("fp_rate must be in (0, 1)")
+    num_bits = int(math.ceil(-expected_items * math.log(fp_rate) / (math.log(2) ** 2)))
+    num_hashes = max(1, int(round(num_bits / expected_items * math.log(2))))
+    return num_bits, num_hashes
+
+
+class BloomFilter:
+    """Standard Bloom filter with k independent hash probes."""
+
+    def __init__(
+        self,
+        expected_items: int = 10_000,
+        fp_rate: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        self.num_bits, self.num_hashes = optimal_parameters(expected_items, fp_rate)
+        self.seed = seed
+        self.bits = np.zeros(self.num_bits, dtype=bool)
+        self.items_added = 0
+
+    def add(self, values: Iterable) -> None:
+        arr = np.asarray(values if not np.isscalar(values) else [values])
+        if len(arr) == 0:
+            return
+        for probe in range(self.num_hashes):
+            idx = (hash64(arr, seed=self.seed * 3000 + probe) % np.uint64(self.num_bits)).astype(np.int64)
+            self.bits[idx] = True
+        self.items_added += len(arr)
+
+    def contains(self, values: Iterable) -> np.ndarray:
+        """Vectorized membership test (True may be a false positive)."""
+        arr = np.asarray(values if not np.isscalar(values) else [values])
+        if len(arr) == 0:
+            return np.array([], dtype=bool)
+        result = np.ones(len(arr), dtype=bool)
+        for probe in range(self.num_hashes):
+            idx = (hash64(arr, seed=self.seed * 3000 + probe) % np.uint64(self.num_bits)).astype(np.int64)
+            result &= self.bits[idx]
+        return result
+
+    def contains_one(self, value) -> bool:
+        return bool(self.contains(np.asarray([value]))[0])
+
+    # ------------------------------------------------------------------
+    @property
+    def fill_fraction(self) -> float:
+        return float(np.mean(self.bits))
+
+    def estimated_fp_rate(self) -> float:
+        """Current false-positive probability from the fill fraction."""
+        return self.fill_fraction**self.num_hashes
+
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8
+
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        """Union of the underlying sets (bitwise OR)."""
+        if other.num_bits != self.num_bits or other.num_hashes != self.num_hashes or other.seed != self.seed:
+            raise MergeError("Bloom merge requires identical geometry and seed")
+        merged = BloomFilter.__new__(BloomFilter)
+        merged.num_bits = self.num_bits
+        merged.num_hashes = self.num_hashes
+        merged.seed = self.seed
+        merged.bits = self.bits | other.bits
+        merged.items_added = self.items_added + other.items_added
+        return merged

@@ -1,0 +1,110 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+Point-frequency and heavy-hitter queries from O(d·w) counters: estimates
+are biased *upward* by at most ``ε·N`` with probability ``1-δ`` for
+``w = ⌈e/ε⌉`` and ``d = ⌈ln(1/δ)⌉``. The a-priori, data-independent
+guarantee is exactly what sampling cannot give for frequencies of rare
+items — and the one-sided bias is the price.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..core.exceptions import MergeError
+from .hashing import hash64
+
+
+class CountMinSketch:
+    """Frequency sketch with one-sided (ε, δ) guarantees."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.001,
+        delta: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if not (0 < epsilon < 1) or not (0 < delta < 1):
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.width = int(math.ceil(math.e / epsilon))
+        self.depth = int(math.ceil(math.log(1.0 / delta)))
+        self.seed = seed
+        self.counters = np.zeros((self.depth, self.width), dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def with_shape(cls, depth: int, width: int, seed: int = 0) -> "CountMinSketch":
+        """Construct directly from a counter shape (for memory sweeps)."""
+        sketch = cls.__new__(cls)
+        sketch.epsilon = math.e / width
+        sketch.delta = math.exp(-depth)
+        sketch.width = width
+        sketch.depth = depth
+        sketch.seed = seed
+        sketch.counters = np.zeros((depth, width), dtype=np.int64)
+        sketch.total = 0
+        return sketch
+
+    # ------------------------------------------------------------------
+    def add(self, values: Iterable, counts: Optional[np.ndarray] = None) -> None:
+        """Add a batch of items, optionally with per-item multiplicities."""
+        arr = np.asarray(values if not np.isscalar(values) else [values])
+        if len(arr) == 0:
+            return
+        if counts is None:
+            counts = np.ones(len(arr), dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        for row in range(self.depth):
+            idx = (hash64(arr, seed=self.seed * 1000 + row) % np.uint64(self.width)).astype(np.int64)
+            np.add.at(self.counters[row], idx, counts)
+        self.total += int(counts.sum())
+
+    def query(self, values: Iterable) -> np.ndarray:
+        """Estimated frequencies (vectorized, min over rows)."""
+        arr = np.asarray(values if not np.isscalar(values) else [values])
+        if len(arr) == 0:
+            return np.array([], dtype=np.int64)
+        best = np.full(len(arr), np.iinfo(np.int64).max, dtype=np.int64)
+        for row in range(self.depth):
+            idx = (hash64(arr, seed=self.seed * 1000 + row) % np.uint64(self.width)).astype(np.int64)
+            best = np.minimum(best, self.counters[row][idx])
+        return best
+
+    def query_one(self, value) -> int:
+        return int(self.query(np.asarray([value]))[0])
+
+    # ------------------------------------------------------------------
+    @property
+    def error_bound(self) -> float:
+        """Additive error bound ε·N holding with probability 1-δ."""
+        return self.epsilon * self.total
+
+    def memory_bytes(self) -> int:
+        return int(self.counters.nbytes)
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        if (
+            other.width != self.width
+            or other.depth != self.depth
+            or other.seed != self.seed
+        ):
+            raise MergeError("CM merge requires equal shape and seed")
+        merged = CountMinSketch.with_shape(self.depth, self.width, seed=self.seed)
+        merged.counters = self.counters + other.counters
+        merged.total = self.total + other.total
+        merged.epsilon = self.epsilon
+        merged.delta = self.delta
+        return merged
+
+    def inner_product(self, other: "CountMinSketch") -> int:
+        """Upper estimate of Σ_x f(x)·g(x) — the join-size estimator."""
+        if other.width != self.width or other.depth != self.depth or other.seed != self.seed:
+            raise MergeError("inner product requires equal shape and seed")
+        per_row = np.einsum("ij,ij->i", self.counters, other.counters)
+        return int(per_row.min())

@@ -1,0 +1,91 @@
+"""Count-Sketch (Charikar, Chen, Farach-Colton 2002).
+
+Like Count-Min but with random signs: estimates are *unbiased*, with
+error proportional to the stream's L2 norm (√F₂) rather than L1 (N).
+Unbiasedness makes it the right frequency sketch to embed inside other
+estimators; the two-sided noise makes it worse than CM for heavy hitters
+on light-tailed streams — another of the "pick your sketch per query"
+specializations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.exceptions import MergeError
+from .hashing import hash64
+
+
+class CountSketch:
+    """Unbiased frequency sketch with L2 error guarantees."""
+
+    def __init__(self, depth: int = 5, width: int = 2048, seed: int = 0) -> None:
+        if depth < 1 or width < 2:
+            raise ValueError("depth must be >=1 and width >=2")
+        self.depth = depth
+        self.width = width
+        self.seed = seed
+        self.counters = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_and_sign(self, arr: np.ndarray, row: int):
+        h = hash64(arr, seed=self.seed * 2000 + row)
+        idx = (h % np.uint64(self.width)).astype(np.int64)
+        signs = np.where(
+            (hash64(arr, seed=self.seed * 2000 + row + 7919) & np.uint64(1)).astype(bool),
+            1,
+            -1,
+        )
+        return idx, signs
+
+    def add(self, values: Iterable, counts: Optional[np.ndarray] = None) -> None:
+        arr = np.asarray(values if not np.isscalar(values) else [values])
+        if len(arr) == 0:
+            return
+        if counts is None:
+            counts = np.ones(len(arr), dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        for row in range(self.depth):
+            idx, signs = self._bucket_and_sign(arr, row)
+            np.add.at(self.counters[row], idx, signs * counts)
+        self.total += int(counts.sum())
+
+    def query(self, values: Iterable) -> np.ndarray:
+        """Median-of-rows unbiased frequency estimates."""
+        arr = np.asarray(values if not np.isscalar(values) else [values])
+        if len(arr) == 0:
+            return np.array([])
+        rows = np.empty((self.depth, len(arr)), dtype=np.float64)
+        for row in range(self.depth):
+            idx, signs = self._bucket_and_sign(arr, row)
+            rows[row] = signs * self.counters[row][idx]
+        return np.median(rows, axis=0)
+
+    def query_one(self, value) -> float:
+        return float(self.query(np.asarray([value]))[0])
+
+    # ------------------------------------------------------------------
+    def second_moment(self) -> float:
+        """Unbiased-ish F₂ estimate: median over rows of Σ bucket²."""
+        per_row = np.sum(self.counters.astype(np.float64) ** 2, axis=1)
+        return float(np.median(per_row))
+
+    def memory_bytes(self) -> int:
+        return int(self.counters.nbytes)
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        if (
+            other.width != self.width
+            or other.depth != self.depth
+            or other.seed != self.seed
+        ):
+            raise MergeError("CountSketch merge requires equal shape and seed")
+        merged = CountSketch(self.depth, self.width, seed=self.seed)
+        merged.counters = self.counters + other.counters
+        merged.total = self.total + other.total
+        return merged

@@ -1,0 +1,118 @@
+"""Greenwald–Khanna quantile sketch (2001).
+
+Answers any quantile query with rank error at most ``ε·n`` from
+O((1/ε)·log(εn)) stored tuples — the synopsis for medians/percentiles,
+which linear-aggregate sampling handles poorly at the tails. Each stored
+tuple is ``(value, g, Δ)`` where ``g`` is the rank gap to the previous
+tuple and ``Δ`` the maximum extra rank uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class _Tuple:
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantileSketch:
+    """ε-approximate quantiles over a stream of floats."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not (0.0 < epsilon < 0.5):
+            raise ValueError("epsilon must be in (0, 0.5)")
+        self.epsilon = epsilon
+        self._tuples: List[_Tuple] = []
+        self.count = 0
+        self._since_compress = 0
+
+    # ------------------------------------------------------------------
+    def add(self, values: Iterable) -> None:
+        for v in np.asarray(values, dtype=np.float64).ravel():
+            self._insert(float(v))
+
+    def _insert(self, value: float) -> None:
+        self.count += 1
+        tuples = self._tuples
+        # Find insertion point.
+        lo, hi = 0, len(tuples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tuples[mid].value < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        idx = lo
+        if idx == 0 or idx == len(tuples):
+            delta = 0  # new min or max is exact
+        else:
+            delta = max(int(math.floor(2 * self.epsilon * self.count)) - 1, 0)
+        tuples.insert(idx, _Tuple(value=value, g=1, delta=delta))
+        self._since_compress += 1
+        if self._since_compress >= int(1.0 / (2.0 * self.epsilon)):
+            self._compress()
+            self._since_compress = 0
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples whose combined uncertainty stays within
+        the 2εn band."""
+        if len(self._tuples) < 3:
+            return
+        bound = int(math.floor(2 * self.epsilon * self.count))
+        merged: List[_Tuple] = []
+        i = 0
+        tuples = self._tuples
+        while i < len(tuples) - 1:
+            cur = tuples[i]
+            nxt = tuples[i + 1]
+            if i > 0 and cur.g + nxt.g + nxt.delta <= bound:
+                nxt.g += cur.g  # absorb cur into nxt
+                i += 1
+                continue
+            merged.append(cur)
+            i += 1
+        merged.append(tuples[-1])
+        self._tuples = merged
+
+    # ------------------------------------------------------------------
+    def query(self, phi: float) -> float:
+        """Value at quantile ``phi`` ∈ [0, 1] with rank error ≤ εn."""
+        if not (0.0 <= phi <= 1.0):
+            raise ValueError("phi must be in [0, 1]")
+        if not self._tuples:
+            return math.nan
+        if phi <= 0.0:
+            return self._tuples[0].value  # GK keeps the exact minimum
+        if phi >= 1.0:
+            return self._tuples[-1].value  # ... and the exact maximum
+        target = phi * self.count
+        bound = self.epsilon * self.count
+        rank = 0
+        prev = self._tuples[0]
+        for t in self._tuples:
+            rank += t.g
+            if rank + t.delta > target + bound:
+                return prev.value
+            prev = t
+        return self._tuples[-1].value
+
+    def median(self) -> float:
+        return self.query(0.5)
+
+    def quantiles(self, phis: Iterable[float]) -> np.ndarray:
+        return np.asarray([self.query(p) for p in phis])
+
+    def memory_entries(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def rank_error_bound(self) -> float:
+        return self.epsilon * self.count

@@ -1,0 +1,86 @@
+"""SpaceSaving heavy hitters (Metwally, Agrawal, El Abbadi 2005).
+
+Maintains exactly ``k`` (item, count, overestimate) entries; every item
+with true frequency above ``N/k`` is guaranteed to be present and every
+reported count overestimates truth by at most the entry's recorded error.
+Deterministic guarantees from a fixed-size table — the counter-based
+counterpart to Count-Min, and the standard answer to "top-k groups
+without scanning everything".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class SpaceSaving:
+    """Deterministic top-k frequency summary."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        #: item -> (count, error) where ``count - error <= true <= count``
+        self.counters: Dict[object, Tuple[int, int]] = {}
+        self.total = 0
+
+    def add(self, values: Iterable) -> None:
+        for value in values:
+            self.add_one(value)
+
+    def add_one(self, value, count: int = 1) -> None:
+        self.total += count
+        if value in self.counters:
+            c, e = self.counters[value]
+            self.counters[value] = (c + count, e)
+            return
+        if len(self.counters) < self.capacity:
+            self.counters[value] = (count, 0)
+            return
+        # Evict the minimum-count entry; inherit its count as error.
+        victim = min(self.counters, key=lambda k: self.counters[k][0])
+        min_count, _ = self.counters.pop(victim)
+        self.counters[value] = (min_count + count, min_count)
+
+    # ------------------------------------------------------------------
+    def estimate(self, value) -> int:
+        """Upper-bound frequency estimate (0 if not tracked)."""
+        if value in self.counters:
+            return self.counters[value][0]
+        return 0
+
+    def guaranteed_count(self, value) -> int:
+        """Lower-bound (guaranteed) frequency."""
+        if value in self.counters:
+            c, e = self.counters[value]
+            return c - e
+        return 0
+
+    def heavy_hitters(self, threshold_fraction: float) -> List[Tuple[object, int]]:
+        """Items guaranteed to exceed ``threshold_fraction`` of the stream.
+
+        Completeness: any item with true frequency > N/capacity is
+        tracked, so for thresholds ≥ 1/capacity no heavy hitter is missed.
+        """
+        threshold = threshold_fraction * self.total
+        out = [
+            (item, c)
+            for item, (c, e) in self.counters.items()
+            if c - e > threshold
+        ]
+        out.sort(key=lambda kv: -kv[1])
+        return out
+
+    def top_k(self, k: int) -> List[Tuple[object, int]]:
+        items = sorted(self.counters.items(), key=lambda kv: -kv[1][0])
+        return [(item, c) for item, (c, _) in items[:k]]
+
+    @property
+    def max_error(self) -> int:
+        """Largest possible overestimate of any reported count (≤ N/k)."""
+        if not self.counters:
+            return 0
+        return max(e for _, e in self.counters.values())
+
+    def memory_entries(self) -> int:
+        return len(self.counters)

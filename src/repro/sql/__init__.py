@@ -1,0 +1,6 @@
+"""SQL front-end: lexer, parser, AST, and binder."""
+
+from .binder import BoundQuery, bind_sql
+from .parser import parse_sql
+
+__all__ = ["BoundQuery", "bind_sql", "parse_sql"]

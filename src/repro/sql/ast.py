@@ -1,0 +1,199 @@
+"""Abstract syntax tree for the SQL subset.
+
+The AST is produced by :mod:`repro.sql.parser` and consumed by
+:mod:`repro.sql.binder`, which resolves names against a
+:class:`~repro.engine.database.Database` and lowers it to a logical plan.
+It is deliberately close to the grammar: expression nodes here are
+*unresolved* (column references are raw dotted names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions (unresolved)
+# ----------------------------------------------------------------------
+
+class SqlExpr:
+    """Base class for parsed expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """Possibly-qualified column reference: ``name`` or ``qualifier.name``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class NumberLit(SqlExpr):
+    value: float
+
+    def display(self) -> str:
+        v = self.value
+        return str(int(v)) if float(v).is_integer() else str(v)
+
+
+@dataclass(frozen=True)
+class StringLit(SqlExpr):
+    value: str
+
+    def display(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class BoolLit(SqlExpr):
+    value: bool
+
+    def display(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+@dataclass(frozen=True)
+class Unary(SqlExpr):
+    op: str  # '-' or 'NOT'
+    operand: SqlExpr
+
+    def display(self) -> str:
+        return f"({self.op} {_disp(self.operand)})"
+
+
+@dataclass(frozen=True)
+class Binary(SqlExpr):
+    op: str  # arithmetic, comparison, AND, OR
+    left: SqlExpr
+    right: SqlExpr
+
+    def display(self) -> str:
+        return f"({_disp(self.left)} {self.op} {_disp(self.right)})"
+
+
+@dataclass(frozen=True)
+class InListExpr(SqlExpr):
+    operand: SqlExpr
+    values: Tuple[SqlExpr, ...]
+    negated: bool = False
+
+    def display(self) -> str:
+        inner = ", ".join(_disp(v) for v in self.values)
+        word = "NOT IN" if self.negated else "IN"
+        return f"({_disp(self.operand)} {word} ({inner}))"
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SqlExpr):
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+    def display(self) -> str:
+        word = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({_disp(self.operand)} {word} {_disp(self.low)} AND {_disp(self.high)})"
+
+
+@dataclass(frozen=True)
+class CaseExpr(SqlExpr):
+    branches: Tuple[Tuple[SqlExpr, SqlExpr], ...]
+    default: Optional[SqlExpr]
+
+    def display(self) -> str:
+        parts = " ".join(
+            f"WHEN {_disp(c)} THEN {_disp(v)}" for c, v in self.branches
+        )
+        tail = f" ELSE {_disp(self.default)}" if self.default is not None else ""
+        return f"(CASE {parts}{tail} END)"
+
+
+@dataclass(frozen=True)
+class FuncExpr(SqlExpr):
+    """Scalar or aggregate function call. ``star`` marks ``COUNT(*)``."""
+
+    name: str
+    args: Tuple[SqlExpr, ...]
+    distinct: bool = False
+    star: bool = False
+
+    def display(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(_disp(a) for a in self.args)
+        d = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({d}{inner})"
+
+
+def _disp(e: Optional[SqlExpr]) -> str:
+    if e is None:
+        return "NULL"
+    return e.display() if hasattr(e, "display") else repr(e)
+
+
+# ----------------------------------------------------------------------
+# Query structure
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableSampleSpec:
+    """``TABLESAMPLE {BERNOULLI|SYSTEM} (pct) [REPEATABLE (seed)]`` or the
+    fixed-size extension ``TABLESAMPLE {ROWS|BLOCKS} (n)``."""
+
+    method: str  # BERNOULLI, SYSTEM, ROWS, BLOCKS
+    value: float
+    seed: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str
+    sample: Optional[TableSampleSpec] = None
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: TableRef
+    condition: SqlExpr  # conjunction of equality predicates
+    how: str = "inner"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: SqlExpr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class ErrorSpecClause:
+    """The AQP extension: ``ERROR WITHIN e% CONFIDENCE c%``."""
+
+    relative_error: float  # e.g. 0.05
+    confidence: float  # e.g. 0.95
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: Tuple[SelectItem, ...]
+    from_table: Optional[TableRef]
+    joins: Tuple[JoinClause, ...] = ()
+    where: Optional[SqlExpr] = None
+    group_by: Tuple[SqlExpr, ...] = ()
+    having: Optional[SqlExpr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    error_spec: Optional[ErrorSpecClause] = None
+    #: additional SELECTs combined with UNION ALL (bag union)
+    union_branches: Tuple["SelectStatement", ...] = ()

@@ -1,0 +1,600 @@
+"""Name resolution and lowering from AST to logical plans.
+
+The binder resolves every column reference against the database catalog,
+decomposes SELECT items into *simple aggregates* plus *post-aggregation
+expressions* (the structure the AQP error-propagation rules operate on),
+and produces both:
+
+* a ready-to-run exact plan (:attr:`BoundQuery.plan`), and
+* the disassembled pieces (:attr:`BoundQuery.pre_agg_plan`, aggregate
+  specs, group keys, post-agg projection) that the approximate planners
+  rewrite.
+
+Column naming convention: scan outputs are qualified as ``alias.column``;
+aggregate outputs use the user alias or the source display string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import BindError, UnsupportedQueryError
+from ..engine import expressions as E
+from ..engine.aggregates import SUPPORTED_AGGREGATES, AggregateSpec
+from ..engine.plan import (
+    Filter,
+    GroupByAggregate,
+    HashJoin,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    SampleClause,
+    Scan,
+    UnionAll,
+)
+from . import ast as A
+from .parser import parse_sql
+
+AGGREGATE_NAMES = {"sum", "count", "avg", "min", "max", "var", "stddev"}
+
+
+@dataclass
+class BoundTable:
+    """One FROM-clause table after resolution."""
+
+    name: str
+    alias: str
+    sample: Optional[SampleClause]
+    num_rows: int
+    num_blocks: int
+    block_size: int
+
+
+@dataclass
+class BoundQuery:
+    """The binder's output: an executable plan plus AQP-ready pieces."""
+
+    statement: A.SelectStatement
+    plan: PlanNode
+    tables: List[BoundTable]
+    where: Optional[E.Expression]
+    is_aggregate: bool
+    #: plan producing the pre-aggregation input relation (joins + filters)
+    pre_agg_plan: Optional[PlanNode] = None
+    #: simple aggregates computed over the pre-agg relation
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+    #: group-by keys as (expression over pre-agg relation, output alias)
+    group_keys: List[Tuple[E.Expression, str]] = field(default_factory=list)
+    #: post-aggregation SELECT expressions over (key aliases + agg aliases)
+    output_items: List[Tuple[E.Expression, str]] = field(default_factory=list)
+    #: HAVING over the aggregate output, if any
+    having: Optional[E.Expression] = None
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    error_spec: Optional[A.ErrorSpecClause] = None
+
+    @property
+    def output_aliases(self) -> List[str]:
+        return [alias for _, alias in self.output_items]
+
+
+# ----------------------------------------------------------------------
+# Scope: alias -> available columns
+# ----------------------------------------------------------------------
+
+class _Scope:
+    def __init__(self) -> None:
+        self.by_alias: Dict[str, Set[str]] = {}
+
+    def add(self, alias: str, columns: Sequence[str]) -> None:
+        if alias in self.by_alias:
+            raise BindError(f"duplicate table alias {alias!r}")
+        self.by_alias[alias] = set(columns)
+
+    def resolve(self, ref: A.ColumnRef) -> str:
+        if ref.qualifier is not None:
+            cols = self.by_alias.get(ref.qualifier)
+            if cols is None:
+                raise BindError(f"unknown table alias {ref.qualifier!r}")
+            if ref.name not in cols:
+                raise BindError(
+                    f"column {ref.name!r} not in table {ref.qualifier!r}"
+                )
+            return f"{ref.qualifier}.{ref.name}"
+        hits = [
+            alias for alias, cols in self.by_alias.items() if ref.name in cols
+        ]
+        if not hits:
+            raise BindError(f"unknown column {ref.name!r}")
+        if len(hits) > 1:
+            raise BindError(
+                f"ambiguous column {ref.name!r} (in tables {sorted(hits)})"
+            )
+        return f"{hits[0]}.{ref.name}"
+
+    def all_qualified(self) -> List[str]:
+        out = []
+        for alias in self.by_alias:
+            for col in sorted(self.by_alias[alias]):
+                out.append(f"{alias}.{col}")
+        return out
+
+
+# ----------------------------------------------------------------------
+# Expression resolution
+# ----------------------------------------------------------------------
+
+def _contains_aggregate(expr: A.SqlExpr) -> bool:
+    if isinstance(expr, A.FuncExpr) and expr.name in AGGREGATE_NAMES:
+        return True
+    for child in _ast_children(expr):
+        if _contains_aggregate(child):
+            return True
+    return False
+
+
+def _ast_children(expr: A.SqlExpr) -> List[A.SqlExpr]:
+    if isinstance(expr, A.Unary):
+        return [expr.operand]
+    if isinstance(expr, A.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, A.InListExpr):
+        return [expr.operand, *expr.values]
+    if isinstance(expr, A.BetweenExpr):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, A.CaseExpr):
+        out: List[A.SqlExpr] = []
+        for c, v in expr.branches:
+            out.extend((c, v))
+        if expr.default is not None:
+            out.append(expr.default)
+        return out
+    if isinstance(expr, A.FuncExpr):
+        return list(expr.args)
+    return []
+
+
+def resolve_scalar(expr: A.SqlExpr, scope: _Scope) -> E.Expression:
+    """Resolve an AST expression containing no aggregates."""
+    if isinstance(expr, A.ColumnRef):
+        return E.Column(scope.resolve(expr))
+    if isinstance(expr, A.NumberLit):
+        value = expr.value
+        return E.Literal(int(value) if float(value).is_integer() else value)
+    if isinstance(expr, A.StringLit):
+        return E.Literal(expr.value)
+    if isinstance(expr, A.BoolLit):
+        return E.Literal(expr.value)
+    if isinstance(expr, A.Unary):
+        inner = resolve_scalar(expr.operand, scope)
+        if expr.op == "NOT":
+            return E.NotOp(inner)
+        return E.UnaryOp("-", inner)
+    if isinstance(expr, A.Binary):
+        left = resolve_scalar(expr.left, scope)
+        right = resolve_scalar(expr.right, scope)
+        if expr.op in ("AND", "OR"):
+            return E.BooleanOp(expr.op, [left, right])
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            return E.Comparison(expr.op, left, right)
+        return E.BinaryOp(expr.op, left, right)
+    if isinstance(expr, A.InListExpr):
+        operand = resolve_scalar(expr.operand, scope)
+        values = []
+        for v in expr.values:
+            if isinstance(v, A.NumberLit):
+                values.append(int(v.value) if float(v.value).is_integer() else v.value)
+            elif isinstance(v, A.StringLit):
+                values.append(v.value)
+            else:
+                raise BindError("IN list values must be literals")
+        node: E.Expression = E.InList(operand, values)
+        return E.NotOp(node) if expr.negated else node
+    if isinstance(expr, A.BetweenExpr):
+        node = E.Between(
+            resolve_scalar(expr.operand, scope),
+            resolve_scalar(expr.low, scope),
+            resolve_scalar(expr.high, scope),
+        )
+        return E.NotOp(node) if expr.negated else node
+    if isinstance(expr, A.CaseExpr):
+        branches = [
+            (resolve_scalar(c, scope), resolve_scalar(v, scope))
+            for c, v in expr.branches
+        ]
+        default = (
+            resolve_scalar(expr.default, scope)
+            if expr.default is not None
+            else None
+        )
+        return E.CaseWhen(branches, default)
+    if isinstance(expr, A.FuncExpr):
+        if expr.name in AGGREGATE_NAMES:
+            raise BindError(
+                f"aggregate {expr.name.upper()} not allowed here"
+            )
+        args = [resolve_scalar(a, scope) for a in expr.args]
+        return E.FunctionCall(expr.name, args)
+    raise BindError(f"cannot resolve expression {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Sample clause lowering
+# ----------------------------------------------------------------------
+
+def _lower_sample(spec: Optional[A.TableSampleSpec]) -> Optional[SampleClause]:
+    if spec is None:
+        return None
+    if spec.method == "BERNOULLI":
+        return SampleClause("bernoulli_rows", rate=spec.value / 100.0, seed=spec.seed)
+    if spec.method == "SYSTEM":
+        return SampleClause("system_blocks", rate=spec.value / 100.0, seed=spec.seed)
+    if spec.method == "ROWS":
+        return SampleClause("fixed_rows", size=int(spec.value), seed=spec.seed)
+    if spec.method == "BLOCKS":
+        return SampleClause("fixed_blocks", size=int(spec.value), seed=spec.seed)
+    raise BindError(f"unknown sample method {spec.method!r}")
+
+
+# ----------------------------------------------------------------------
+# Main binding routine
+# ----------------------------------------------------------------------
+
+def bind_statement(stmt: A.SelectStatement, database) -> BoundQuery:
+    if stmt.union_branches:
+        return _bind_union(stmt, database)
+    scope = _Scope()
+    tables: List[BoundTable] = []
+
+    def add_table(ref: A.TableRef) -> Scan:
+        table = database.table(ref.name)  # raises SchemaError if missing
+        scope.add(ref.alias, table.column_names)
+        tables.append(
+            BoundTable(
+                name=ref.name,
+                alias=ref.alias,
+                sample=_lower_sample(ref.sample),
+                num_rows=table.num_rows,
+                num_blocks=table.num_blocks,
+                block_size=table.block_size,
+            )
+        )
+        return Scan(
+            table_name=ref.name,
+            sample=_lower_sample(ref.sample),
+            alias=ref.alias,
+        )
+
+    # FROM + JOINs -> left-deep join tree
+    plan: Optional[PlanNode] = None
+    left_aliases: Set[str] = set()
+    post_join_filters: List[E.Expression] = []
+    if stmt.from_table is not None:
+        plan = add_table(stmt.from_table)
+        left_aliases.add(stmt.from_table.alias)
+        for join in stmt.joins:
+            right_scan = add_table(join.table)
+            left_keys, right_keys, residual = _split_join_condition(
+                join.condition, scope, left_aliases, join.table.alias
+            )
+            if not left_keys:
+                raise UnsupportedQueryError(
+                    "only equi-joins are supported (no equality key found)"
+                )
+            plan = HashJoin(
+                left=plan,
+                right=right_scan,
+                left_keys=tuple(left_keys),
+                right_keys=tuple(right_keys),
+                how=join.how,
+            )
+            post_join_filters.extend(residual)
+            left_aliases.add(join.table.alias)
+    else:
+        raise BindError("queries without FROM are not supported")
+
+    # WHERE
+    where_expr: Optional[E.Expression] = None
+    predicates: List[E.Expression] = list(post_join_filters)
+    if stmt.where is not None:
+        if _contains_aggregate(stmt.where):
+            raise BindError("aggregates are not allowed in WHERE")
+        predicates.append(resolve_scalar(stmt.where, scope))
+    if predicates:
+        where_expr = E.combine_conjuncts(predicates)
+        plan = Filter(plan, where_expr)
+
+    pre_agg_plan = plan
+
+    # Determine aggregate vs plain query
+    has_aggregate = any(_contains_aggregate(item.expr) for item in stmt.items)
+    is_aggregate = has_aggregate or bool(stmt.group_by)
+
+    bound = BoundQuery(
+        statement=stmt,
+        plan=plan,  # placeholder, replaced below
+        tables=tables,
+        where=where_expr,
+        is_aggregate=is_aggregate,
+        error_spec=stmt.error_spec,
+    )
+
+    if not is_aggregate:
+        _bind_plain_query(stmt, scope, plan, bound)
+        return bound
+
+    _bind_aggregate_query(stmt, scope, pre_agg_plan, bound)
+    return bound
+
+
+def _bind_plain_query(
+    stmt: A.SelectStatement, scope: _Scope, plan: PlanNode, bound: BoundQuery
+) -> None:
+    items: List[Tuple[E.Expression, str]] = []
+    for item in stmt.items:
+        if isinstance(item.expr, A.ColumnRef) and item.expr.name == "*":
+            for qualified in scope.all_qualified():
+                short = qualified.split(".", 1)[1]
+                alias = short if _unambiguous(scope, short) else qualified
+                items.append((E.Column(qualified), alias))
+            continue
+        resolved = resolve_scalar(item.expr, scope)
+        alias = item.alias or item.expr.display()
+        items.append((resolved, alias))
+    plan = Project(plan, tuple(items))
+    plan = _apply_order_limit(stmt, plan, [a for _, a in items], scope, bound)
+    bound.plan = plan
+    bound.output_items = items
+
+
+def _unambiguous(scope: _Scope, column: str) -> bool:
+    return sum(1 for cols in scope.by_alias.values() if column in cols) == 1
+
+
+def _bind_aggregate_query(
+    stmt: A.SelectStatement,
+    scope: _Scope,
+    pre_agg_plan: PlanNode,
+    bound: BoundQuery,
+) -> None:
+    # Group keys
+    group_keys: List[Tuple[E.Expression, str]] = []
+    group_display: Dict[str, str] = {}  # AST display -> key alias
+    for key_ast in stmt.group_by:
+        if _contains_aggregate(key_ast):
+            raise UnsupportedQueryError("aggregates in GROUP BY are not supported")
+        resolved = resolve_scalar(key_ast, scope)
+        alias = key_ast.display()
+        group_keys.append((resolved, alias))
+        group_display[key_ast.display()] = alias
+
+    aggregates: List[AggregateSpec] = []
+    agg_by_display: Dict[str, str] = {}  # display -> agg alias
+
+    def lower_aggregate(fexpr: A.FuncExpr) -> str:
+        """Register a simple aggregate, returning its output alias."""
+        display = fexpr.display()
+        if display in agg_by_display:
+            return agg_by_display[display]
+        for arg in fexpr.args:
+            if _contains_aggregate(arg):
+                raise BindError("nested aggregates are not allowed")
+        if fexpr.star:
+            argument = None
+        elif len(fexpr.args) == 1:
+            argument = resolve_scalar(fexpr.args[0], scope)
+        else:
+            raise BindError(
+                f"{fexpr.name.upper()} takes exactly one argument"
+            )
+        alias = f"__agg{len(aggregates)}"
+        spec = AggregateSpec(
+            func=fexpr.name,
+            argument=argument,
+            alias=alias,
+            distinct=fexpr.distinct,
+        )
+        aggregates.append(spec)
+        agg_by_display[display] = alias
+        return alias
+
+    def lower_post_agg(expr: A.SqlExpr) -> E.Expression:
+        """Rewrite a SELECT/HAVING expression into one over agg output."""
+        if isinstance(expr, A.FuncExpr) and expr.name in AGGREGATE_NAMES:
+            return E.Column(lower_aggregate(expr))
+        display = expr.display()
+        if display in group_display:
+            return E.Column(group_display[display])
+        if isinstance(expr, A.ColumnRef):
+            # A bare column in an aggregate query must be a group key.
+            qualified = scope.resolve(expr)
+            for key_expr, key_alias in group_keys:
+                if isinstance(key_expr, E.Column) and key_expr.name == qualified:
+                    return E.Column(key_alias)
+            raise BindError(
+                f"column {expr.display()!r} must appear in GROUP BY "
+                "or be inside an aggregate"
+            )
+        if isinstance(expr, A.NumberLit):
+            v = expr.value
+            return E.Literal(int(v) if float(v).is_integer() else v)
+        if isinstance(expr, A.StringLit):
+            return E.Literal(expr.value)
+        if isinstance(expr, A.Unary):
+            inner = lower_post_agg(expr.operand)
+            return E.NotOp(inner) if expr.op == "NOT" else E.UnaryOp("-", inner)
+        if isinstance(expr, A.Binary):
+            left = lower_post_agg(expr.left)
+            right = lower_post_agg(expr.right)
+            if expr.op in ("AND", "OR"):
+                return E.BooleanOp(expr.op, [left, right])
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return E.Comparison(expr.op, left, right)
+            return E.BinaryOp(expr.op, left, right)
+        if isinstance(expr, A.BetweenExpr):
+            node = E.Between(
+                lower_post_agg(expr.operand),
+                lower_post_agg(expr.low),
+                lower_post_agg(expr.high),
+            )
+            return E.NotOp(node) if expr.negated else node
+        if isinstance(expr, A.InListExpr):
+            operand = lower_post_agg(expr.operand)
+            values = [
+                v.value if isinstance(v, (A.NumberLit, A.StringLit)) else None
+                for v in expr.values
+            ]
+            node = E.InList(operand, values)
+            return E.NotOp(node) if expr.negated else node
+        if isinstance(expr, A.CaseExpr):
+            branches = [
+                (lower_post_agg(c), lower_post_agg(v)) for c, v in expr.branches
+            ]
+            default = (
+                lower_post_agg(expr.default) if expr.default is not None else None
+            )
+            return E.CaseWhen(branches, default)
+        raise BindError(f"cannot use {expr.display()!r} in an aggregate query")
+
+    # SELECT items
+    output_items: List[Tuple[E.Expression, str]] = []
+    for item in stmt.items:
+        if isinstance(item.expr, A.ColumnRef) and item.expr.name == "*":
+            raise BindError("SELECT * is not allowed in aggregate queries")
+        resolved = lower_post_agg(item.expr)
+        alias = item.alias or item.expr.display()
+        output_items.append((resolved, alias))
+
+    # HAVING
+    having_expr: Optional[E.Expression] = None
+    if stmt.having is not None:
+        having_expr = lower_post_agg(stmt.having)
+
+    agg_node = GroupByAggregate(
+        child=pre_agg_plan,
+        keys=tuple(group_keys),
+        aggregates=tuple(aggregates),
+        having=having_expr,
+    )
+    plan: PlanNode = Project(agg_node, tuple(output_items))
+    plan = _apply_order_limit(
+        stmt, plan, [a for _, a in output_items], scope, bound
+    )
+
+    bound.plan = plan
+    bound.pre_agg_plan = pre_agg_plan
+    bound.aggregates = aggregates
+    bound.group_keys = group_keys
+    bound.output_items = output_items
+    bound.having = having_expr
+
+
+def _apply_order_limit(
+    stmt: A.SelectStatement,
+    plan: PlanNode,
+    output_aliases: List[str],
+    scope: _Scope,
+    bound: BoundQuery,
+) -> PlanNode:
+    order_items: List[Tuple[str, bool]] = []
+    for item in stmt.order_by:
+        name = None
+        if isinstance(item.expr, A.ColumnRef) and item.expr.qualifier is None:
+            if item.expr.name in output_aliases:
+                name = item.expr.name
+        if name is None and item.expr.display() in output_aliases:
+            name = item.expr.display()
+        if name is None and isinstance(item.expr, A.NumberLit):
+            pos = int(item.expr.value) - 1
+            if not 0 <= pos < len(output_aliases):
+                raise BindError(f"ORDER BY position {pos + 1} out of range")
+            name = output_aliases[pos]
+        if name is None:
+            raise BindError(
+                f"ORDER BY expression {item.expr.display()!r} must be an "
+                "output column, its alias, or a position"
+            )
+        order_items.append((name, item.ascending))
+    if order_items:
+        plan = OrderBy(plan, tuple(order_items))
+        bound.order_by = order_items
+    if stmt.limit is not None:
+        plan = Limit(plan, stmt.limit)
+        bound.limit = stmt.limit
+    return plan
+
+
+def _split_join_condition(
+    condition: A.SqlExpr,
+    scope: _Scope,
+    left_aliases: Set[str],
+    right_alias: str,
+) -> Tuple[List[str], List[str], List[E.Expression]]:
+    """Split an ON condition into equi-join keys plus residual predicates."""
+    left_keys: List[str] = []
+    right_keys: List[str] = []
+    residual: List[E.Expression] = []
+
+    def visit(expr: A.SqlExpr) -> None:
+        if isinstance(expr, A.Binary) and expr.op == "AND":
+            visit(expr.left)
+            visit(expr.right)
+            return
+        if (
+            isinstance(expr, A.Binary)
+            and expr.op == "="
+            and isinstance(expr.left, A.ColumnRef)
+            and isinstance(expr.right, A.ColumnRef)
+        ):
+            lq = scope.resolve(expr.left)
+            rq = scope.resolve(expr.right)
+            l_alias = lq.split(".", 1)[0]
+            r_alias = rq.split(".", 1)[0]
+            if l_alias in left_aliases and r_alias == right_alias:
+                left_keys.append(lq)
+                right_keys.append(rq)
+                return
+            if r_alias in left_aliases and l_alias == right_alias:
+                left_keys.append(rq)
+                right_keys.append(lq)
+                return
+        residual.append(resolve_scalar(expr, scope))
+
+    visit(condition)
+    return left_keys, right_keys, residual
+
+
+def _bind_union(stmt: A.SelectStatement, database) -> BoundQuery:
+    """Bind a UNION ALL compound: each branch independently, schemas must
+    match by output alias list; the result is a plain (non-aggregate)
+    bag-union plan."""
+    from dataclasses import replace as _replace
+
+    branches = [_replace(stmt, union_branches=())] + list(stmt.union_branches)
+    bound_branches = [bind_statement(b, database) for b in branches]
+    first_aliases = bound_branches[0].output_aliases
+    for b in bound_branches[1:]:
+        if b.output_aliases != first_aliases:
+            raise BindError(
+                f"UNION ALL branches must produce the same columns: "
+                f"{first_aliases} vs {b.output_aliases}"
+            )
+    plan = UnionAll(tuple(b.plan for b in bound_branches))
+    tables: List[BoundTable] = []
+    for b in bound_branches:
+        tables.extend(b.tables)
+    return BoundQuery(
+        statement=stmt,
+        plan=plan,
+        tables=tables,
+        where=None,
+        is_aggregate=False,
+        output_items=bound_branches[0].output_items,
+    )
+
+
+def bind_sql(query: str, database) -> BoundQuery:
+    """Parse and bind a SQL string against a database."""
+    return bind_statement(parse_sql(query), database)

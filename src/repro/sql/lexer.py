@@ -1,0 +1,123 @@
+"""SQL tokenizer.
+
+A hand-written scanner for the SQL subset the engine supports, plus the
+AQP extension keywords (``ERROR WITHIN ... CONFIDENCE ...`` and
+``TABLESAMPLE``). Tokens carry their source offset so parse errors point
+at the offending character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..core.exceptions import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "JOIN", "INNER", "LEFT",
+    "ON", "UNION", "ALL", "DISTINCT", "ASC", "DESC", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "TABLESAMPLE", "BERNOULLI", "SYSTEM", "ROWS",
+    "BLOCKS", "REPEATABLE", "ERROR", "WITHIN", "CONFIDENCE", "NULL",
+    "TRUE", "FALSE", "IS", "LIKE",
+}
+
+OPERATORS = ["<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%",
+              "(", ")", ",", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, OP, EOF
+    value: str
+    position: int
+
+    def matches_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convert SQL text to a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            else:
+                raise SQLSyntaxError("unterminated string literal", i)
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        if ch == '"':  # quoted identifier
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise SQLSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token("IDENT", text[i + 1:j], i))
+            i = j + 1
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", "<>" if op == "!=" else op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,29 @@
+"""Block storage model, catalog statistics, and the cost model."""
+
+from .blocks import (
+    AccessStats,
+    BLOCK_ID_COLUMN,
+    block_sample_scan,
+    clustered_layout,
+    full_scan,
+    row_sample_scan,
+    shuffled_layout,
+)
+from .cost import CostEstimate, CostParameters, DEFAULT_COST
+from .statistics import ColumnStats, TableStats, compute_table_stats
+
+__all__ = [
+    "AccessStats",
+    "BLOCK_ID_COLUMN",
+    "ColumnStats",
+    "CostEstimate",
+    "CostParameters",
+    "DEFAULT_COST",
+    "TableStats",
+    "block_sample_scan",
+    "clustered_layout",
+    "compute_table_stats",
+    "full_scan",
+    "row_sample_scan",
+    "shuffled_layout",
+]

@@ -1,0 +1,17 @@
+"""Haar wavelet synopses."""
+
+from .haar import (
+    WaveletSynopsis,
+    build_wavelet_synopsis,
+    haar_transform,
+    inverse_haar,
+    reconstruction_error,
+)
+
+__all__ = [
+    "WaveletSynopsis",
+    "build_wavelet_synopsis",
+    "haar_transform",
+    "inverse_haar",
+    "reconstruction_error",
+]

@@ -1,0 +1,30 @@
+"""Benchmark data and query-workload generators."""
+
+from .queries import WorkloadGenerator, WorkloadSpec, drift, template_overlap
+from .skew import (
+    clustered_values,
+    distinct_count_table,
+    heavy_tailed_table,
+    selectivity_table,
+    uniform_table,
+    zipf_group_table,
+)
+from .ssb import SSB_LITE_QUERIES, generate_ssb
+from .tpch import TPCH_LITE_QUERIES, generate_tpch
+
+__all__ = [
+    "SSB_LITE_QUERIES",
+    "TPCH_LITE_QUERIES",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "clustered_values",
+    "distinct_count_table",
+    "drift",
+    "generate_ssb",
+    "generate_tpch",
+    "heavy_tailed_table",
+    "selectivity_table",
+    "template_overlap",
+    "uniform_table",
+    "zipf_group_table",
+]

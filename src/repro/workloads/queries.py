@@ -1,0 +1,125 @@
+"""Parameterized query-workload generation.
+
+The drift experiments (E7) need *distributions over queries*: which
+columns queries group by, how those preferences shift over time, and how
+selective their predicates are. A :class:`WorkloadGenerator` samples
+concrete SQL strings and :class:`~repro.offline.blinkdb.QueryTemplate`
+descriptors from a column-popularity distribution, and
+:func:`drift` produces a shifted copy of that distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..offline.blinkdb import QueryTemplate
+
+
+@dataclass
+class WorkloadSpec:
+    """Distribution over query templates for one table."""
+
+    table: str
+    #: candidate group-by columns with popularity weights
+    column_weights: Dict[str, float]
+    #: measure column aggregated by every query
+    measure: str = "value"
+    #: numeric column used for range predicates
+    selector: Optional[str] = "selector"
+    #: distribution of predicate selectivities (log-uniform bounds)
+    selectivity_range: Tuple[float, float] = (0.01, 0.5)
+
+    def normalized_weights(self) -> Dict[str, float]:
+        total = sum(self.column_weights.values()) or 1.0
+        return {c: w / total for c, w in self.column_weights.items()}
+
+
+class WorkloadGenerator:
+    """Samples concrete queries/templates from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.rng = np.random.default_rng(seed)
+
+    def sample_templates(self, count: int) -> List[QueryTemplate]:
+        weights = self.spec.normalized_weights()
+        columns = list(weights)
+        probs = np.asarray([weights[c] for c in columns])
+        picks = self.rng.choice(len(columns), size=count, p=probs)
+        out: List[QueryTemplate] = []
+        for idx in picks:
+            out.append(
+                QueryTemplate(
+                    table=self.spec.table,
+                    columns=(columns[idx],),
+                    frequency=1.0,
+                )
+            )
+        return out
+
+    def sample_sql(self, count: int) -> List[str]:
+        """Concrete SQL strings (group-by + optional range predicate)."""
+        templates = self.sample_templates(count)
+        lo, hi = self.spec.selectivity_range
+        out: List[str] = []
+        for template in templates:
+            col = template.columns[0]
+            parts = [
+                f"SELECT {col}, SUM({self.spec.measure}) AS total, "
+                f"COUNT(*) AS cnt FROM {self.spec.table}"
+            ]
+            if self.spec.selector is not None:
+                sel = math.exp(
+                    self.rng.uniform(math.log(lo), math.log(hi))
+                )
+                parts.append(f"WHERE {self.spec.selector} < {sel:.6f}")
+            parts.append(f"GROUP BY {col}")
+            out.append(" ".join(parts))
+        return out
+
+
+def drift(
+    spec: WorkloadSpec, amount: float, seed: int = 0
+) -> WorkloadSpec:
+    """A drifted copy of ``spec``: popularity mass moves from the current
+    favorites toward the least popular columns.
+
+    ``amount`` ∈ [0, 1]: 0 returns the same distribution, 1 fully inverts
+    the popularity ranking — the survey's "yesterday's samples answer
+    yesterday's queries" scenario, dialed.
+    """
+    if not (0.0 <= amount <= 1.0):
+        raise ValueError("amount must be in [0, 1]")
+    weights = spec.normalized_weights()
+    inverted_order = sorted(weights, key=lambda c: weights[c])
+    original_order = sorted(weights, key=lambda c: -weights[c])
+    sorted_mass = sorted(weights.values(), reverse=True)
+    drifted: Dict[str, float] = {}
+    for rank, mass in enumerate(sorted_mass):
+        stay_col = original_order[rank]
+        move_col = inverted_order[rank]
+        drifted[stay_col] = drifted.get(stay_col, 0.0) + (1.0 - amount) * mass
+        drifted[move_col] = drifted.get(move_col, 0.0) + amount * mass
+    return WorkloadSpec(
+        table=spec.table,
+        column_weights=drifted,
+        measure=spec.measure,
+        selector=spec.selector,
+        selectivity_range=spec.selectivity_range,
+    )
+
+
+def template_overlap(
+    a: Sequence[QueryTemplate], b: Sequence[QueryTemplate]
+) -> float:
+    """Jaccard overlap of the (table, columns) sets of two workloads —
+    a cheap scalar summary of how much a workload drifted."""
+    sa = {(t.table, t.columns) for t in a}
+    sb = {(t.table, t.columns) for t in b}
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)

@@ -1,0 +1,121 @@
+"""Star Schema Benchmark (SSB) lite.
+
+O'Neil et al.'s star schema: one wide fact table (``lineorder``) and four
+small dimensions (``date_dim``, ``customer_dim``, ``supplier_dim``,
+``part_dim``). The pure-star shape — every join is fact→dimension on a
+foreign key — is the sweet spot for join synopses and universe sampling,
+which is why the join experiments (E6) run here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine.database import Database
+from ..engine.table import DEFAULT_BLOCK_SIZE
+
+CITIES = [f"CITY_{i:02d}" for i in range(25)]
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+MFGRS = [f"MFGR#{i}" for i in range(1, 6)]
+CATEGORIES = [f"MFGR#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+
+def generate_ssb(
+    database: Optional[Database] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Database:
+    """Populate a database with the SSB-lite star schema.
+
+    ``scale`` 1.0 ≈ 60k lineorder rows; dimension sizes follow the spec's
+    ratios (customer 30k→300·scale etc., shrunk proportionally).
+    """
+    if database is None:
+        database = Database()
+    rng = np.random.default_rng(seed)
+
+    num_facts = max(int(60_000 * scale), 1000)
+    num_dates = 2556  # 7 years of days
+    num_customers = max(int(600 * scale), 30)
+    num_suppliers = max(int(40 * scale), 10)
+    num_parts = max(int(400 * scale), 20)
+
+    years = 1992 + (np.arange(num_dates) // 365)
+    database.create_table(
+        "date_dim",
+        {
+            "d_datekey": np.arange(num_dates, dtype=np.int64),
+            "d_year": years.astype(np.int64),
+            "d_month": ((np.arange(num_dates) // 30) % 12 + 1).astype(np.int64),
+            "d_weeknum": ((np.arange(num_dates) // 7) % 53 + 1).astype(np.int64),
+        },
+        block_size=block_size,
+    )
+    database.create_table(
+        "customer_dim",
+        {
+            "c_custkey": np.arange(num_customers, dtype=np.int64),
+            "c_city": rng.choice(np.asarray(CITIES, dtype=object), num_customers),
+            "c_region": rng.choice(np.asarray(REGIONS, dtype=object), num_customers),
+        },
+        block_size=block_size,
+    )
+    database.create_table(
+        "supplier_dim",
+        {
+            "s_suppkey": np.arange(num_suppliers, dtype=np.int64),
+            "s_city": rng.choice(np.asarray(CITIES, dtype=object), num_suppliers),
+            "s_region": rng.choice(np.asarray(REGIONS, dtype=object), num_suppliers),
+        },
+        block_size=block_size,
+    )
+    database.create_table(
+        "part_dim",
+        {
+            "p_partkey": np.arange(num_parts, dtype=np.int64),
+            "p_mfgr": rng.choice(np.asarray(MFGRS, dtype=object), num_parts),
+            "p_category": rng.choice(np.asarray(CATEGORIES, dtype=object), num_parts),
+        },
+        block_size=block_size,
+    )
+    quantity = rng.integers(1, 51, num_facts).astype(np.float64)
+    price = np.round(rng.lognormal(7.0, 0.8, num_facts), 2)
+    database.create_table(
+        "lineorder",
+        {
+            "lo_orderkey": np.arange(num_facts, dtype=np.int64),
+            "lo_custkey": rng.integers(0, num_customers, num_facts),
+            "lo_suppkey": rng.integers(0, num_suppliers, num_facts),
+            "lo_partkey": rng.integers(0, num_parts, num_facts),
+            "lo_orderdate": rng.integers(0, num_dates, num_facts),
+            "lo_quantity": quantity,
+            "lo_extendedprice": price,
+            "lo_discount": np.round(rng.uniform(0.0, 0.10, num_facts), 2),
+            "lo_revenue": np.round(price * (1.0 - rng.uniform(0.0, 0.10, num_facts)), 2),
+        },
+        block_size=block_size,
+    )
+    return database
+
+
+SSB_LITE_QUERIES: Dict[str, str] = {
+    "q1_revenue": (
+        "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+        "FROM lineorder WHERE lo_orderdate < 365 AND "
+        "lo_discount BETWEEN 0.01 AND 0.03 AND lo_quantity < 25"
+    ),
+    "q2_by_year": (
+        "SELECT d.d_year AS year, SUM(l.lo_revenue) AS revenue "
+        "FROM lineorder l JOIN date_dim d ON l.lo_orderdate = d.d_datekey "
+        "GROUP BY d.d_year"
+    ),
+    "q3_by_region": (
+        "SELECT c.c_region AS region, SUM(l.lo_revenue) AS revenue "
+        "FROM lineorder l JOIN customer_dim c ON l.lo_custkey = c.c_custkey "
+        "GROUP BY c.c_region"
+    ),
+    "avg_quantity": "SELECT AVG(lo_quantity) AS avg_qty FROM lineorder",
+}

@@ -1,0 +1,204 @@
+"""TPC-H-lite: a laptop-scale reimplementation of the TPC-H schema.
+
+Generates the seven TPC-H tables with the standard key relationships,
+realistic column domains, and the benchmark's fixed dimension vocabulary
+(regions, nations, segments, priorities). ``scale`` 1.0 ≈ 60k lineitem
+rows here (three orders of magnitude below real SF1 so everything runs in
+seconds); all ratios between table sizes match the spec:
+orders = 15k·scale, lineitem ≈ 4·orders, customer = 1.5k·scale, part =
+2k·scale, supplier = 100·scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine.database import Database
+from ..engine.table import DEFAULT_BLOCK_SIZE
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUS = ["F", "O"]
+BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+TYPES = [
+    f"{a} {b} {c}"
+    for a in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for b in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for c in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+]
+
+#: Dates are stored as integer day offsets from 1992-01-01; the TPC-H
+#: order window spans 1992-01-01 .. 1998-08-02 (about 2406 days).
+DATE_LO, DATE_HI = 0, 2406
+
+
+def generate_tpch(
+    database: Optional[Database] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Database:
+    """Populate (or create) a database with the TPC-H-lite tables."""
+    if database is None:
+        database = Database()
+    rng = np.random.default_rng(seed)
+
+    num_orders = max(int(15_000 * scale), 100)
+    num_customers = max(int(1_500 * scale), 50)
+    num_parts = max(int(2_000 * scale), 50)
+    num_suppliers = max(int(100 * scale), 10)
+
+    # region / nation ---------------------------------------------------
+    database.create_table(
+        "region",
+        {
+            "r_regionkey": np.arange(len(REGIONS), dtype=np.int64),
+            "r_name": np.asarray(REGIONS, dtype=object),
+        },
+        block_size=block_size,
+    )
+    database.create_table(
+        "nation",
+        {
+            "n_nationkey": np.arange(len(NATIONS), dtype=np.int64),
+            "n_name": np.asarray([n for n, _ in NATIONS], dtype=object),
+            "n_regionkey": np.asarray([r for _, r in NATIONS], dtype=np.int64),
+        },
+        block_size=block_size,
+    )
+
+    # supplier ----------------------------------------------------------
+    database.create_table(
+        "supplier",
+        {
+            "s_suppkey": np.arange(num_suppliers, dtype=np.int64),
+            "s_nationkey": rng.integers(0, len(NATIONS), num_suppliers),
+            "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, num_suppliers), 2),
+        },
+        block_size=block_size,
+    )
+
+    # part ----------------------------------------------------------------
+    database.create_table(
+        "part",
+        {
+            "p_partkey": np.arange(num_parts, dtype=np.int64),
+            "p_brand": rng.choice(np.asarray(BRANDS, dtype=object), num_parts),
+            "p_type": rng.choice(np.asarray(TYPES, dtype=object), num_parts),
+            "p_size": rng.integers(1, 51, num_parts),
+            "p_retailprice": np.round(900.0 + rng.uniform(0, 1200, num_parts), 2),
+        },
+        block_size=block_size,
+    )
+
+    # customer ------------------------------------------------------------
+    database.create_table(
+        "customer",
+        {
+            "c_custkey": np.arange(num_customers, dtype=np.int64),
+            "c_nationkey": rng.integers(0, len(NATIONS), num_customers),
+            "c_mktsegment": rng.choice(np.asarray(SEGMENTS, dtype=object), num_customers),
+            "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, num_customers), 2),
+        },
+        block_size=block_size,
+    )
+
+    # orders ----------------------------------------------------------------
+    o_orderdate = rng.integers(DATE_LO, DATE_HI - 150, num_orders)
+    database.create_table(
+        "orders",
+        {
+            "o_orderkey": np.arange(num_orders, dtype=np.int64),
+            "o_custkey": rng.integers(0, num_customers, num_orders),
+            "o_orderdate": o_orderdate,
+            "o_orderpriority": rng.choice(np.asarray(PRIORITIES, dtype=object), num_orders),
+            "o_totalprice": np.round(rng.lognormal(10.0, 0.6, num_orders), 2),
+        },
+        block_size=block_size,
+    )
+
+    # lineitem ----------------------------------------------------------------
+    lines_per_order = rng.integers(1, 8, num_orders)
+    l_orderkey = np.repeat(np.arange(num_orders, dtype=np.int64), lines_per_order)
+    n_lines = len(l_orderkey)
+    order_dates = o_orderdate[l_orderkey]
+    l_shipdate = order_dates + rng.integers(1, 122, n_lines)
+    l_quantity = rng.integers(1, 51, n_lines).astype(np.float64)
+    l_partkey = rng.integers(0, num_parts, n_lines)
+    retail = database.table("part")["p_retailprice"][l_partkey]
+    l_extendedprice = np.round(l_quantity * retail / 10.0, 2)
+    database.create_table(
+        "lineitem",
+        {
+            "l_orderkey": l_orderkey,
+            "l_partkey": l_partkey,
+            "l_suppkey": rng.integers(0, num_suppliers, n_lines),
+            "l_linenumber": np.concatenate(
+                [np.arange(1, c + 1) for c in lines_per_order]
+            ).astype(np.int64),
+            "l_quantity": l_quantity,
+            "l_extendedprice": l_extendedprice,
+            "l_discount": np.round(rng.uniform(0.0, 0.10, n_lines), 2),
+            "l_tax": np.round(rng.uniform(0.0, 0.08, n_lines), 2),
+            "l_returnflag": rng.choice(np.asarray(RETURN_FLAGS, dtype=object), n_lines),
+            "l_linestatus": rng.choice(np.asarray(LINE_STATUS, dtype=object), n_lines),
+            "l_shipdate": l_shipdate,
+            "l_shipmode": rng.choice(np.asarray(SHIP_MODES, dtype=object), n_lines),
+        },
+        block_size=block_size,
+    )
+    return database
+
+
+#: A small library of TPC-H-flavored aggregate queries (subset the engine
+#: and the AQP planners both support), used across benchmarks and tests.
+TPCH_LITE_QUERIES: Dict[str, str] = {
+    # Q1-flavoured pricing summary (no group to keep it scalar-friendly)
+    "q1_pricing": (
+        "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+        "SUM(l_extendedprice) AS sum_price, AVG(l_quantity) AS avg_qty, "
+        "COUNT(*) AS count_order FROM lineitem WHERE l_shipdate <= 2300 "
+        "GROUP BY l_returnflag, l_linestatus"
+    ),
+    # Q6-flavoured forecast revenue change
+    "q6_forecast": (
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+        "WHERE l_shipdate BETWEEN 365 AND 730 AND "
+        "l_discount BETWEEN 0.02 AND 0.06 AND l_quantity < 24"
+    ),
+    # Q5-flavoured local supplier volume (join chain)
+    "q5_volume": (
+        "SELECT n.n_name AS nation, SUM(l.l_extendedprice) AS revenue "
+        "FROM lineitem l JOIN supplier s ON l.l_suppkey = s.s_suppkey "
+        "JOIN nation n ON s.s_nationkey = n.n_nationkey "
+        "GROUP BY n.n_name"
+    ),
+    # Q12-flavoured shipmode summary
+    "q12_shipmode": (
+        "SELECT l_shipmode, COUNT(*) AS line_count, "
+        "SUM(l_extendedprice) AS total FROM lineitem "
+        "WHERE l_shipdate > 1200 GROUP BY l_shipmode"
+    ),
+    # simple scalar average
+    "avg_price": "SELECT AVG(l_extendedprice) AS avg_price FROM lineitem",
+    # order-side join
+    "priority_revenue": (
+        "SELECT o.o_orderpriority AS priority, SUM(l.l_extendedprice) AS rev "
+        "FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey "
+        "GROUP BY o.o_orderpriority"
+    ),
+}

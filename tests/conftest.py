@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.engine.table import Table
+from repro.workloads import generate_ssb, generate_tpch
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_db():
+    """A tiny hand-checked database for exactness tests."""
+    db = Database()
+    db.create_table(
+        "sales",
+        {
+            "id": np.arange(8, dtype=np.int64),
+            "price": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0]),
+            "qty": np.array([1, 2, 3, 4, 1, 2, 3, 4], dtype=np.int64),
+            "region": np.array(
+                ["e", "e", "w", "w", "e", "w", "e", "w"], dtype=object
+            ),
+        },
+        block_size=4,
+    )
+    db.create_table(
+        "regions",
+        {
+            "rcode": np.array(["e", "w"], dtype=object),
+            "zone": np.array([1, 2], dtype=np.int64),
+        },
+    )
+    return db
+
+
+@pytest.fixture
+def medium_db():
+    """A 100k-row skewed table for statistical tests."""
+    rng = np.random.default_rng(7)
+    n = 100_000
+    db = Database()
+    db.create_table(
+        "facts",
+        {
+            "value": rng.exponential(100.0, n),
+            "heavy": rng.lognormal(3.0, 2.0, n),
+            "group_id": rng.integers(0, 20, n),
+            "selector": rng.random(n),
+        },
+        block_size=512,
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """Session-scoped TPC-H-lite instance (scale small for speed)."""
+    return generate_tpch(scale=1.0, seed=42, block_size=256)
+
+
+@pytest.fixture(scope="session")
+def ssb_db():
+    return generate_ssb(scale=0.5, seed=42, block_size=256)
+
+
+def brute_force_group_by(table: Table, key: str, value: str, agg: str):
+    """Reference implementation used to check the engine."""
+    out = {}
+    keys = table[key]
+    values = np.asarray(table[value], dtype=np.float64)
+    for k in np.unique(keys):
+        mask = keys == k
+        vals = values[mask]
+        kk = k.item() if hasattr(k, "item") else k
+        if agg == "sum":
+            out[kk] = float(vals.sum())
+        elif agg == "count":
+            out[kk] = float(mask.sum())
+        elif agg == "avg":
+            out[kk] = float(vals.mean())
+        elif agg == "min":
+            out[kk] = float(vals.min())
+        elif agg == "max":
+            out[kk] = float(vals.max())
+    return out

@@ -1,0 +1,64 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is imported and executed with its data sizes patched down so
+the whole file stays fast; the point is that the public API surface the
+examples exercise keeps working, not the examples' timing.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+
+def load(name):
+    sys.path.insert(0, "examples")
+    try:
+        module = importlib.import_module(name)
+        importlib.reload(module)
+        return module
+    finally:
+        sys.path.pop(0)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys, monkeypatch):
+        mod = load("quickstart")
+        monkeypatch.setattr(mod, "NUM_ROWS", 60_000)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "exact execution" in out
+        assert "no-silver-bullet matrix" in out
+
+    def test_dashboard_analytics(self, capsys, monkeypatch):
+        mod = load("dashboard_analytics")
+        monkeypatch.setattr(mod, "NUM_ROWS", 80_000)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "drift=1.00" in out
+
+    def test_telemetry_sketches(self, capsys, monkeypatch):
+        mod = load("telemetry_sketches")
+        monkeypatch.setattr(mod, "EVENTS", 100_000)
+        monkeypatch.setattr(mod, "USERS", 20_000)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "distinct users" in out
+        assert "sampling fails" in out
+
+    def test_progressive_results(self, capsys):
+        mod = load("progressive_results")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "online aggregation" in out
+        assert "peeking" in out
+
+    def test_adhoc_exploration_importable(self):
+        # The ad-hoc session builds a scale-5 TPC-H; too heavy for unit
+        # tests, but its SESSION queries must at least parse and bind.
+        from repro.sql.parser import parse_sql
+
+        mod = load("adhoc_exploration")
+        for _, sql in mod.SESSION:
+            parse_sql(sql + " ERROR WITHIN 5% CONFIDENCE 95%")

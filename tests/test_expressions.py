@@ -1,0 +1,183 @@
+"""Tests for vectorized expression trees."""
+
+import numpy as np
+import pytest
+
+from repro import PlanError, Table
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    CaseWhen,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    Literal,
+    NotOp,
+    UnaryOp,
+    col,
+    combine_conjuncts,
+    conjuncts,
+    lift,
+    transform,
+    walk,
+)
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "x": np.array([1.0, 2.0, 3.0, 4.0]),
+            "y": np.array([10.0, 0.0, -10.0, 5.0]),
+            "s": np.array(["a", "b", "a", "c"], dtype=object),
+        }
+    )
+
+
+class TestBasics:
+    def test_column(self, table):
+        assert Column("x").evaluate(table).tolist() == [1, 2, 3, 4]
+
+    def test_literal_numeric(self, table):
+        assert Literal(7).evaluate(table).tolist() == [7] * 4
+
+    def test_literal_string(self, table):
+        vals = Literal("z").evaluate(table)
+        assert vals.dtype == object and vals[0] == "z"
+
+    def test_lift(self):
+        assert isinstance(lift(3), Literal)
+        c = col("x")
+        assert lift(c) is c
+
+    def test_columns_sets(self):
+        expr = (col("x") + col("y")) > 3
+        assert expr.columns() == {"x", "y"}
+
+
+class TestArithmetic:
+    def test_add(self, table):
+        assert (col("x") + col("y")).evaluate(table).tolist() == [11, 2, -7, 9]
+
+    def test_sub_mul(self, table):
+        assert (col("x") * 2 - 1).evaluate(table).tolist() == [1, 3, 5, 7]
+
+    def test_division_by_zero_is_nan(self, table):
+        out = (col("x") / col("y")).evaluate(table)
+        assert np.isnan(out[1])
+        assert out[0] == pytest.approx(0.1)
+
+    def test_mod(self, table):
+        out = BinaryOp("%", col("x"), Literal(2)).evaluate(table)
+        assert out.tolist() == [1, 0, 1, 0]
+
+    def test_unary_minus(self, table):
+        assert (-col("x")).evaluate(table).tolist() == [-1, -2, -3, -4]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PlanError):
+            BinaryOp("**", col("x"), Literal(2))
+
+
+class TestPredicates:
+    def test_comparisons(self, table):
+        assert (col("x") > 2).evaluate(table).tolist() == [False, False, True, True]
+        assert (col("x") <= 2).evaluate(table).tolist() == [True, True, False, False]
+        assert (col("s") == "a").evaluate(table).tolist() == [True, False, True, False]
+        assert (col("s") != "a").evaluate(table).tolist() == [False, True, False, True]
+
+    def test_and_or_not(self, table):
+        both = (col("x") > 1) & (col("y") > 0)
+        assert both.evaluate(table).tolist() == [False, False, False, True]
+        either = (col("x") > 3) | (col("y") > 5)
+        assert either.evaluate(table).tolist() == [True, False, False, True]
+        assert (~(col("x") > 2)).evaluate(table).tolist() == [True, True, False, False]
+
+    def test_in_list(self, table):
+        assert col("s").isin(["a", "c"]).evaluate(table).tolist() == [
+            True, False, True, True,
+        ]
+
+    def test_in_empty_list(self, table):
+        assert InList(col("x"), []).evaluate(table).tolist() == [False] * 4
+
+    def test_between_inclusive(self, table):
+        out = col("x").between(2, 3).evaluate(table)
+        assert out.tolist() == [False, True, True, False]
+
+    def test_boolean_requires_operands(self):
+        with pytest.raises(PlanError):
+            BooleanOp("AND", [])
+
+
+class TestCaseAndFunctions:
+    def test_case_when_first_match_wins(self, table):
+        expr = CaseWhen(
+            [(col("x") > 3, Literal(100)), (col("x") > 1, Literal(10))],
+            Literal(0),
+        )
+        assert expr.evaluate(table).tolist() == [0, 10, 10, 100]
+
+    def test_case_requires_branch(self):
+        with pytest.raises(PlanError):
+            CaseWhen([], Literal(0))
+
+    def test_abs_sqrt(self, table):
+        assert FunctionCall("abs", [col("y")]).evaluate(table).tolist() == [10, 0, 10, 5]
+        out = FunctionCall("sqrt", [col("x")]).evaluate(table)
+        assert out[3] == pytest.approx(2.0)
+
+    def test_string_functions(self, table):
+        up = FunctionCall("upper", [col("s")]).evaluate(table)
+        assert up.tolist() == ["A", "B", "A", "C"]
+        ln = FunctionCall("length", [col("s")]).evaluate(table)
+        assert ln.tolist() == [1, 1, 1, 1]
+
+    def test_unknown_function(self):
+        with pytest.raises(PlanError, match="unknown function"):
+            FunctionCall("frobnicate", [col("x")])
+
+
+class TestTreeUtilities:
+    def test_walk_visits_all(self):
+        expr = (col("x") + 1) > (col("y") * 2)
+        kinds = [type(n).__name__ for n in walk(expr)]
+        assert kinds[0] == "Comparison"
+        assert "Column" in kinds and "Literal" in kinds
+
+    def test_transform_replaces_literals(self, table):
+        expr = col("x") + 1
+
+        def double(node):
+            if isinstance(node, Literal):
+                return Literal(node.value * 2)
+            return None
+
+        out = transform(expr, double)
+        assert out.evaluate(table).tolist() == [3, 4, 5, 6]
+
+    def test_transform_identity_preserves_node(self):
+        expr = col("x") + 1
+        assert transform(expr, lambda n: None) is expr
+
+    def test_conjuncts_flatten(self):
+        pred = (col("a") > 1) & (col("b") > 2) & (col("c") > 3)
+        parts = conjuncts(pred)
+        assert len(parts) == 3
+
+    def test_conjuncts_none(self):
+        assert conjuncts(None) == []
+
+    def test_combine_round_trip(self, table):
+        pred = (col("x") > 1) & (col("y") > 0)
+        rebuilt = combine_conjuncts(conjuncts(pred))
+        assert rebuilt.evaluate(table).tolist() == pred.evaluate(table).tolist()
+
+    def test_combine_empty(self):
+        assert combine_conjuncts([]) is None
+
+    def test_combine_single(self):
+        p = col("x") > 1
+        assert combine_conjuncts([p]) is p

@@ -1,0 +1,167 @@
+"""Tests for histograms and wavelet synopses."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro import SynopsisError
+from repro.histograms import Histogram, equi_depth, equi_width, maxdiff, v_optimal
+from repro.wavelets import (
+    build_wavelet_synopsis,
+    haar_transform,
+    inverse_haar,
+    reconstruction_error,
+)
+
+
+@pytest.fixture(scope="module")
+def uniform_data():
+    return np.random.default_rng(1).uniform(0, 100, 50_000)
+
+
+@pytest.fixture(scope="module")
+def skewed_data():
+    rng = np.random.default_rng(2)
+    return np.concatenate(
+        [rng.normal(10, 1, 40_000), rng.normal(500, 5, 500)]
+    )
+
+
+class TestHistogramQueries:
+    def test_full_range_count_exact(self, uniform_data):
+        h = equi_width(uniform_data, 32)
+        assert h.range_count() == pytest.approx(len(uniform_data))
+
+    def test_full_range_sum_exact(self, uniform_data):
+        h = equi_depth(uniform_data, 32)
+        assert h.range_sum() == pytest.approx(uniform_data.sum())
+
+    def test_half_range_uniform(self, uniform_data):
+        h = equi_width(uniform_data, 64)
+        est = h.range_count(0, 50)
+        truth = np.sum(uniform_data <= 50)
+        assert est == pytest.approx(truth, rel=0.02)
+
+    def test_selectivity(self, uniform_data):
+        h = equi_depth(uniform_data, 64)
+        assert h.selectivity(0, 25) == pytest.approx(0.25, abs=0.02)
+
+    def test_range_avg(self, uniform_data):
+        h = equi_depth(uniform_data, 64)
+        assert h.range_avg(0, 100) == pytest.approx(uniform_data.mean(), rel=0.01)
+
+    def test_empty_range(self, uniform_data):
+        h = equi_width(uniform_data, 16)
+        assert h.range_count(200, 300) == 0.0
+
+    def test_memory_entries(self, uniform_data):
+        h = equi_width(uniform_data, 32)
+        assert h.memory_entries() == 33 + 64
+
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            Histogram(np.array([0.0, 1.0]), np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestBuilders:
+    def test_equi_depth_balances_mass(self, skewed_data):
+        h = equi_depth(skewed_data, 32)
+        nonempty = h.counts[h.counts > 0]
+        assert nonempty.max() / max(nonempty.mean(), 1) < 3
+
+    def test_equi_width_starves_on_skew(self, skewed_data):
+        h = equi_width(skewed_data, 32)
+        # Nearly everything lands in one bucket.
+        assert h.counts.max() / len(skewed_data) > 0.9
+
+    def test_maxdiff_concentrates_buckets_where_density_varies(self, skewed_data):
+        h = maxdiff(skewed_data, 16)
+        # MaxDiff splits at the largest area differences, which for this
+        # bimodal data all sit inside the dense mode — it spends its
+        # bucket budget where the density actually changes.
+        inner = np.sum((h.bounds > 5) & (h.bounds < 15))
+        assert inner >= len(h.bounds) * 0.7
+
+    def test_voptimal_beats_equiwidth_on_range_counts(self, skewed_data):
+        vo = v_optimal(skewed_data, 16)
+        ew = equi_width(skewed_data, 16)
+        rng = np.random.default_rng(5)
+        vo_err = ew_err = 0.0
+        for _ in range(50):
+            lo = rng.uniform(0, 20)
+            hi = lo + rng.uniform(1, 10)
+            truth = float(np.sum((skewed_data >= lo) & (skewed_data <= hi)))
+            vo_err += abs(vo.range_count(lo, hi) - truth)
+            ew_err += abs(ew.range_count(lo, hi) - truth)
+        assert vo_err < ew_err
+
+    def test_voptimal_few_distinct_buckets_per_value(self):
+        data = np.repeat([1.0, 5.0, 9.0], [100, 50, 10])
+        h = v_optimal(data, 3)
+        # Each distinct value gets its own bucket; a range covering the
+        # whole first bucket recovers its full mass.
+        assert h.range_count(0.5, 5.0) == pytest.approx(100)
+
+    def test_builders_reject_empty(self):
+        for builder in (equi_width, equi_depth, maxdiff, v_optimal):
+            with pytest.raises(SynopsisError):
+                builder(np.array([]), 4)
+
+    def test_constant_column(self):
+        h = equi_width(np.full(100, 7.0), 8)
+        assert h.range_count(6, 8) == pytest.approx(100)
+
+    @given(hst.integers(2, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_property_total_mass_conserved(self, buckets):
+        data = np.random.default_rng(buckets).normal(0, 1, 2000)
+        for builder in (equi_width, equi_depth, maxdiff):
+            h = builder(data, buckets)
+            assert h.total_rows == pytest.approx(2000)
+
+
+class TestWavelets:
+    def test_transform_round_trip(self, rng):
+        data = rng.normal(0, 1, 128)
+        assert np.allclose(inverse_haar(haar_transform(data)), data)
+
+    def test_transform_pads_to_power_of_two(self, rng):
+        data = rng.normal(0, 1, 100)
+        coeffs = haar_transform(data)
+        assert len(coeffs) == 128
+        assert np.allclose(inverse_haar(coeffs)[:100], data)
+
+    def test_energy_preserved(self, rng):
+        data = rng.normal(0, 1, 256)
+        coeffs = haar_transform(data)
+        assert np.sum(coeffs**2) == pytest.approx(np.sum(data**2))
+
+    def test_full_coefficients_exact(self, uniform_data):
+        syn = build_wavelet_synopsis(uniform_data, num_cells=256, keep_coefficients=256)
+        assert reconstruction_error(uniform_data, syn) < 1e-9
+
+    def test_error_decreases_with_coefficients(self, skewed_data):
+        errors = [
+            reconstruction_error(
+                skewed_data,
+                build_wavelet_synopsis(skewed_data, 512, keep_coefficients=k),
+            )
+            for k in (8, 32, 128)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_range_sum_counts(self, uniform_data):
+        syn = build_wavelet_synopsis(uniform_data, 512, keep_coefficients=128)
+        truth = float(np.sum((uniform_data >= 10) & (uniform_data <= 60)))
+        assert syn.range_sum(10, 60) == pytest.approx(truth, rel=0.05)
+
+    def test_tiny_space(self, uniform_data):
+        syn = build_wavelet_synopsis(uniform_data, 1024, keep_coefficients=64)
+        assert syn.memory_entries() < 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynopsisError):
+            build_wavelet_synopsis(np.array([]), 16, 4)

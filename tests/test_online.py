@@ -1,0 +1,284 @@
+"""Tests for online AQP: pilot planner, Quickr, OLA, ripple joins."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    ErrorSpec,
+    InfeasiblePlanError,
+    Table,
+    UnsupportedQueryError,
+)
+from repro.online import (
+    OnlineAggregator,
+    PilotPlanner,
+    QuickrPlanner,
+    RippleJoin,
+    peeking_coverage,
+)
+from repro.sql import bind_sql
+from repro.workloads import zipf_group_table
+
+
+@pytest.fixture
+def db(rng):
+    n = 300_000
+    db = Database()
+    db.create_table(
+        "big",
+        {
+            "value": rng.exponential(50, n),
+            "group_id": rng.integers(0, 6, n),
+            "selector": rng.random(n),
+        },
+        block_size=512,
+    )
+    db.create_table(
+        "tiny", {"k": np.arange(6), "zone": np.array([0, 0, 1, 1, 2, 2])}
+    )
+    return db
+
+
+class TestPilotPlanner:
+    def test_scalar_sum_guarantee(self, db):
+        spec = ErrorSpec(0.05, 0.95)
+        truth = db.table("big")["value"].sum()
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        errors = []
+        for seed in range(12):
+            res = PilotPlanner(db, seed=seed).run(bound, spec)
+            errors.append(abs(res.scalar() - truth) / truth)
+        # All runs within spec (the planner is deliberately conservative).
+        assert max(errors) <= spec.relative_error
+
+    def test_fraction_scanned_small(self, db):
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        res = PilotPlanner(db, seed=1).run(bound, ErrorSpec(0.05, 0.95))
+        assert res.fraction_scanned < 0.2
+        assert res.speedup > 1.0
+
+    def test_grouped_avg(self, db):
+        bound = bind_sql(
+            "SELECT group_id, AVG(value) AS m FROM big GROUP BY group_id", db
+        )
+        res = PilotPlanner(db, seed=2).run(bound, ErrorSpec(0.08, 0.9))
+        big = db.table("big")
+        for row in res.to_pylist():
+            truth = big["value"][big["group_id"] == row["group_id"]].mean()
+            assert row["m"] == pytest.approx(truth, rel=0.08)
+        assert res.table.num_rows == 6
+
+    def test_ci_reported(self, db):
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        res = PilotPlanner(db, seed=3).run(bound, ErrorSpec(0.05, 0.95))
+        cell = res.estimate("s")
+        assert cell.ci_low < res.scalar() < cell.ci_high
+        assert cell.relative_half_width <= 0.05
+
+    def test_composite_output_interval(self, db):
+        bound = bind_sql(
+            "SELECT SUM(value) / COUNT(*) AS ratio FROM big", db
+        )
+        res = PilotPlanner(db, seed=4).run(bound, ErrorSpec(0.05, 0.95))
+        truth = db.table("big")["value"].mean()
+        cell = res.estimate("ratio")
+        assert cell.ci_low <= truth <= cell.ci_high
+
+    def test_nonlinear_rejected(self, db):
+        bound = bind_sql("SELECT MAX(value) AS m FROM big", db)
+        with pytest.raises(UnsupportedQueryError):
+            PilotPlanner(db).run(bound, ErrorSpec(0.05, 0.95))
+
+    def test_count_distinct_rejected(self, db):
+        bound = bind_sql("SELECT COUNT(DISTINCT group_id) AS d FROM big", db)
+        with pytest.raises(UnsupportedQueryError):
+            PilotPlanner(db).run(bound, ErrorSpec(0.05, 0.95))
+
+    def test_plain_query_rejected(self, db):
+        bound = bind_sql("SELECT value FROM big LIMIT 5", db)
+        with pytest.raises(UnsupportedQueryError):
+            PilotPlanner(db).run(bound, ErrorSpec(0.05, 0.95))
+
+    def test_small_table_infeasible(self, db):
+        bound = bind_sql("SELECT SUM(zone) AS s FROM tiny", db)
+        with pytest.raises(InfeasiblePlanError):
+            PilotPlanner(db).run(bound, ErrorSpec(0.05, 0.95))
+
+    def test_hyper_selective_infeasible_or_exactish(self, db):
+        bound = bind_sql(
+            "SELECT SUM(value) AS s FROM big WHERE selector < 0.00001", db
+        )
+        with pytest.raises(InfeasiblePlanError):
+            PilotPlanner(db, seed=5).run(bound, ErrorSpec(0.05, 0.95))
+
+    def test_tight_spec_needs_more_data(self, db):
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        loose = PilotPlanner(db, seed=6).run(bound, ErrorSpec(0.10, 0.95))
+        tight = PilotPlanner(db, seed=6).run(bound, ErrorSpec(0.02, 0.95))
+        assert (
+            tight.diagnostics["sampling_rate"]
+            > loose.diagnostics["sampling_rate"]
+        )
+
+    def test_join_query_supported(self, db):
+        bound = bind_sql(
+            "SELECT t.zone AS zone, SUM(b.value) AS s FROM big b "
+            "JOIN tiny t ON b.group_id = t.k GROUP BY t.zone",
+            db,
+        )
+        res = PilotPlanner(db, seed=7).run(bound, ErrorSpec(0.1, 0.9))
+        assert res.table.num_rows == 3
+
+
+class TestQuickr:
+    def test_scalar_estimate(self, db):
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        res = QuickrPlanner(db, seed=1).run(bound, ErrorSpec(0.05, 0.95))
+        truth = db.table("big")["value"].sum()
+        assert res.scalar() == pytest.approx(truth, rel=0.05)
+        assert res.technique == "quickr"
+        assert res.diagnostics["sampler"] == "uniform"
+
+    def test_one_pass_cost_model(self, db):
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        res = QuickrPlanner(db, seed=2).run(bound, ErrorSpec(0.05, 0.95))
+        assert res.fraction_scanned == 1.0
+        assert 1.0 <= res.speedup < 3.0  # bounded gains: scan still happens
+
+    def test_distinct_sampler_for_many_groups(self, rng):
+        db = Database()
+        cols = zipf_group_table(200_000, num_groups=800, zipf_s=1.5, seed=6)
+        db.create_table("z", cols, block_size=512)
+        bound = bind_sql(
+            "SELECT group_id, COUNT(*) AS c FROM z GROUP BY group_id", db
+        )
+        res = QuickrPlanner(db, seed=3).run(bound, ErrorSpec(0.1, 0.9))
+        assert res.diagnostics["sampler"] == "distinct"
+        # Distinct sampler preserves every group.
+        assert res.table.num_rows == len(np.unique(db.table("z")["group_id"]))
+
+    def test_met_spec_flag(self, db):
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        res = QuickrPlanner(db, seed=4).run(bound, ErrorSpec(0.05, 0.95))
+        assert isinstance(res.diagnostics["met_spec"], bool)
+
+    def test_temp_table_cleaned_up(self, db):
+        bound = bind_sql("SELECT SUM(value) AS s FROM big", db)
+        QuickrPlanner(db, seed=5).run(bound, ErrorSpec(0.05, 0.95))
+        assert not any(t.startswith("__quickr") for t in db.table_names)
+
+    def test_join_through_sample(self, db):
+        bound = bind_sql(
+            "SELECT SUM(b.value) AS s FROM big b JOIN tiny t ON b.group_id = t.k",
+            db,
+        )
+        res = QuickrPlanner(db, seed=6).run(bound, ErrorSpec(0.1, 0.9))
+        truth = db.table("big")["value"].sum()
+        assert res.scalar() == pytest.approx(truth, rel=0.1)
+
+    def test_nonlinear_rejected(self, db):
+        bound = bind_sql("SELECT MIN(value) AS m FROM big", db)
+        with pytest.raises(UnsupportedQueryError):
+            QuickrPlanner(db).run(bound, ErrorSpec(0.05, 0.95))
+
+
+class TestOnlineAggregation:
+    @pytest.fixture
+    def table(self, rng):
+        return Table({"v": rng.gamma(2.0, 10.0, 80_000)})
+
+    def test_ci_shrinks(self, table):
+        ola = OnlineAggregator(table, "v", "sum", seed=1)
+        widths = [s.relative_half_width for s in ola.run(batch_size=5000)]
+        assert widths[-1] < widths[0]
+        assert widths[-1] < 0.01
+
+    def test_final_snapshot_exactish(self, table):
+        ola = OnlineAggregator(table, "v", "sum", seed=2)
+        snap = ola.snapshot(table.num_rows)
+        assert snap.value == pytest.approx(table["v"].sum())
+        assert snap.relative_half_width < 1e-6
+
+    def test_fixed_time_coverage(self, table):
+        truth = table["v"].sum()
+        hits = 0
+        for seed in range(60):
+            ola = OnlineAggregator(table, "v", "sum", seed=seed)
+            snap = ola.snapshot(4000)
+            hits += snap.ci_low <= truth <= snap.ci_high
+        assert hits >= 50  # ~95% nominal with MC slack
+
+    def test_run_to_target(self, table):
+        ola = OnlineAggregator(table, "v", "sum", seed=3)
+        snap = ola.run_to_target(0.02, batch_size=2000)
+        assert snap.relative_half_width <= 0.02
+        assert snap.fraction_seen < 1.0
+
+    def test_avg_with_predicate(self, table):
+        mask = table["v"] > 20
+        ola = OnlineAggregator(table, "v", "avg", predicate_mask=mask, seed=4)
+        snap = ola.snapshot(20_000)
+        assert snap.value == pytest.approx(table["v"][mask].mean(), rel=0.05)
+
+    def test_count_aggregate(self, table):
+        mask = table["v"] > 20
+        ola = OnlineAggregator(table, None, "count", predicate_mask=mask, seed=5)
+        snap = ola.snapshot(20_000)
+        assert snap.value == pytest.approx(mask.sum(), rel=0.05)
+
+    def test_peeking_undercovers(self, rng):
+        """Stopping at the first 'good-looking' CI costs coverage —
+        the peeking pitfall the survey flags for OLA interfaces."""
+        pop = rng.lognormal(1.0, 1.5, 30_000)
+        peek = peeking_coverage(
+            pop, target_relative_error=0.1, confidence=0.95,
+            num_trials=60, batch_size=100, seed=1,
+        )
+        assert peek < 0.95
+
+    def test_validation(self, table):
+        with pytest.raises(Exception):
+            OnlineAggregator(table, None, "sum")
+        with pytest.raises(Exception):
+            OnlineAggregator(table, "v", "median")
+
+
+class TestRippleJoin:
+    @pytest.fixture
+    def tables(self, rng):
+        n, d = 40_000, 500
+        keys = rng.integers(0, d, n)
+        left = Table({"k": keys, "v": rng.exponential(4, n)})
+        right = Table({"k": np.arange(d), "w": rng.random(d)})
+        truth = float(np.sum(left["v"] * right["w"][keys]))
+        return left, right, truth
+
+    def test_converges_to_truth(self, tables):
+        left, right, truth = tables
+        rj = RippleJoin(left, right, "k", "k", "v", "w", seed=1)
+        last = None
+        for snap in rj.run(batch=5000):
+            last = snap
+        assert rj.is_exhausted
+        assert last.value == pytest.approx(truth, rel=1e-9)
+
+    def test_intermediate_estimates_reasonable(self, tables):
+        left, right, truth = tables
+        rj = RippleJoin(left, right, "k", "k", "v", "w", seed=2)
+        snap = rj.advance(10_000)
+        assert snap.value == pytest.approx(truth, rel=0.3)
+
+    def test_ci_shrinks(self, tables):
+        left, right, truth = tables
+        rj = RippleJoin(left, right, "k", "k", "v", "w", seed=3)
+        early = rj.advance(2000)
+        late = rj.advance(20_000)
+        assert late.relative_half_width < early.relative_half_width
+
+    def test_stop_at_target(self, tables):
+        left, right, _ = tables
+        rj = RippleJoin(left, right, "k", "k", "v", "w", seed=4)
+        snaps = list(rj.run(batch=2000, target_relative_error=0.2))
+        assert snaps[-1].relative_half_width <= 0.2
+        assert not rj.is_exhausted

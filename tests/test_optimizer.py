@@ -1,0 +1,157 @@
+"""Tests for the rule-based optimizer: rewrites must preserve results."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.engine.optimizer import optimize_plan, output_columns, push_down_predicates
+from repro.engine.plan import Filter, HashJoin, Scan, scans_in, walk_plan
+from repro.sql.binder import bind_sql
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(3)
+    db = Database()
+    db.create_table(
+        "fact",
+        {
+            "k": rng.integers(0, 50, 5000),
+            "v": rng.normal(100, 10, 5000),
+            "w": rng.random(5000),
+        },
+        block_size=128,
+    )
+    db.create_table(
+        "dim",
+        {"k": np.arange(50, dtype=np.int64), "cat": np.arange(50) % 5},
+    )
+    return db
+
+
+def results_match(db, sql):
+    bound = bind_sql(sql, db)
+    raw, _ = db.execute(bound.plan, optimize=False)
+    opt_plan = optimize_plan(bound.plan, db)
+    opt, _ = db.execute(opt_plan, optimize=False)
+    assert raw.column_names == opt.column_names
+    for col in raw.column_names:
+        a, b = raw[col], opt[col]
+        if a.dtype == object:
+            assert sorted(map(str, a)) == sorted(map(str, b))
+        else:
+            assert np.allclose(np.sort(a.astype(float)), np.sort(b.astype(float)))
+    return opt_plan
+
+
+class TestEquivalence:
+    def test_filter_groupby(self, db):
+        results_match(
+            db, "SELECT k, SUM(v) AS s FROM fact WHERE w < 0.5 GROUP BY k"
+        )
+
+    def test_join_with_dim_filter(self, db):
+        results_match(
+            db,
+            "SELECT d.cat AS cat, SUM(f.v) AS s FROM fact f "
+            "JOIN dim d ON f.k = d.k WHERE d.cat = 2 GROUP BY d.cat",
+        )
+
+    def test_join_with_fact_filter(self, db):
+        results_match(
+            db,
+            "SELECT COUNT(*) AS c FROM fact f JOIN dim d ON f.k = d.k "
+            "WHERE f.w < 0.1 AND d.cat > 1",
+        )
+
+    def test_order_limit(self, db):
+        bound = bind_sql(
+            "SELECT k, SUM(v) AS s FROM fact GROUP BY k ORDER BY s DESC LIMIT 5",
+            db,
+        )
+        raw, _ = db.execute(bound.plan, optimize=False)
+        opt, _ = db.execute(optimize_plan(bound.plan, db), optimize=False)
+        assert raw["k"].tolist() == opt["k"].tolist()
+
+
+class TestPushdown:
+    def test_fact_predicate_reaches_scan(self, db):
+        bound = bind_sql(
+            "SELECT COUNT(*) AS c FROM fact f JOIN dim d ON f.k = d.k "
+            "WHERE f.w < 0.1",
+            db,
+        )
+        plan = optimize_plan(bound.plan, db)
+        # The filter should now sit below the join.
+        join = next(n for n in walk_plan(plan) if isinstance(n, HashJoin))
+        below_join_filters = [
+            n
+            for side in (join.left, join.right)
+            for n in walk_plan(side)
+            if isinstance(n, Filter)
+        ]
+        assert below_join_filters, plan.explain()
+
+    def test_conjuncts_split_to_both_sides(self, db):
+        bound = bind_sql(
+            "SELECT COUNT(*) AS c FROM fact f JOIN dim d ON f.k = d.k "
+            "WHERE f.w < 0.5 AND d.cat = 1",
+            db,
+        )
+        plan = optimize_plan(bound.plan, db)
+        join = next(n for n in walk_plan(plan) if isinstance(n, HashJoin))
+        left_filters = [n for n in walk_plan(join.left) if isinstance(n, Filter)]
+        right_filters = [n for n in walk_plan(join.right) if isinstance(n, Filter)]
+        assert left_filters and right_filters
+
+    def test_idempotent(self, db):
+        bound = bind_sql(
+            "SELECT COUNT(*) AS c FROM fact WHERE w < 0.5 AND v > 90", db
+        )
+        once = push_down_predicates(bound.plan)
+        twice = push_down_predicates(once)
+        assert once.explain() == twice.explain()
+
+
+class TestPruning:
+    def test_scan_columns_restricted(self, db):
+        bound = bind_sql("SELECT SUM(v) AS s FROM fact", db)
+        plan = optimize_plan(bound.plan, db)
+        scan = scans_in(plan)[0]
+        assert scan.columns == ("v",)
+
+    def test_filter_columns_kept(self, db):
+        bound = bind_sql("SELECT SUM(v) AS s FROM fact WHERE w < 0.5", db)
+        plan = optimize_plan(bound.plan, db)
+        scan = scans_in(plan)[0]
+        assert set(scan.columns) == {"v", "w"}
+
+    def test_join_keys_kept(self, db):
+        bound = bind_sql(
+            "SELECT SUM(f.v) AS s FROM fact f JOIN dim d ON f.k = d.k", db
+        )
+        plan = optimize_plan(bound.plan, db)
+        for scan in scans_in(plan):
+            assert "k" in scan.columns
+
+
+class TestJoinOrdering:
+    def test_small_side_builds(self, db):
+        bound = bind_sql(
+            "SELECT COUNT(*) AS c FROM fact f JOIN dim d ON f.k = d.k", db
+        )
+        plan = optimize_plan(bound.plan, db)
+        join = next(n for n in walk_plan(plan) if isinstance(n, HashJoin))
+        left_scan = scans_in(join.left)[0]
+        assert left_scan.table_name == "dim"  # smaller side on the left
+
+
+class TestOutputColumns:
+    def test_scan_qualified(self, db):
+        cols = output_columns(Scan("dim", alias="d"), db)
+        assert cols == {"d.k", "d.cat"}
+
+    def test_groupby_outputs(self, db):
+        bound = bind_sql("SELECT k, SUM(v) AS s FROM fact GROUP BY k", db)
+        cols = output_columns(bound.plan, db)
+        assert "s" in cols

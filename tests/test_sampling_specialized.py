@@ -1,0 +1,272 @@
+"""Tests for outlier, measure-biased, distinct, universe, reservoir, and
+join-synopsis samplers."""
+
+import numpy as np
+import pytest
+
+from repro import Database, SynopsisError, Table
+from repro.engine.executor import join_indices
+from repro.sampling.distinct import distinct_sample, group_coverage
+from repro.sampling.join_synopsis import (
+    ForeignKeyEdge,
+    build_join_synopsis,
+    refresh_needed,
+)
+from repro.sampling.measure_biased import (
+    estimate_sum as mb_estimate_sum,
+    measure_biased_sample,
+    optimal_variance_ratio,
+)
+from repro.sampling.outlier import (
+    build_outlier_index,
+    estimate_sum_with_outliers,
+    variance_reduction,
+)
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.row import bernoulli_sample
+from repro.sampling.universe import (
+    estimate_join_sum,
+    joint_universe_samples,
+    universe_sample,
+)
+from repro.workloads import heavy_tailed_table, zipf_group_table
+
+
+@pytest.fixture
+def heavy(rng):
+    return Table(heavy_tailed_table(40_000, sigma=2.5, seed=3), block_size=512)
+
+
+class TestOutlierIndex:
+    def test_split_sizes(self, heavy):
+        idx = build_outlier_index(heavy, "value", 0.02)
+        assert idx.outliers.num_rows == pytest.approx(800, abs=2)
+        assert idx.outliers.num_rows + idx.inliers.num_rows == heavy.num_rows
+
+    def test_outliers_are_extreme(self, heavy):
+        idx = build_outlier_index(heavy, "value", 0.01)
+        assert idx.outliers["value"].min() > np.median(heavy["value"])
+
+    def test_variance_reduction_large_on_heavy_tails(self, heavy):
+        assert variance_reduction(heavy, "value", 0.01) > 10
+
+    def test_estimate_much_tighter_than_uniform(self, heavy, rng):
+        truth = heavy["value"].sum()
+        idx = build_outlier_index(heavy, "value", 0.01)
+        outlier_errs, uniform_errs = [], []
+        for t in range(30):
+            r = np.random.default_rng(t)
+            est, _ = estimate_sum_with_outliers(idx, 0.01, r)
+            outlier_errs.append(abs(est.value - truth) / truth)
+            u = bernoulli_sample(heavy, 0.01, r)
+            uniform_errs.append(
+                abs(u.estimate_sum("value").value - truth) / truth
+            )
+        assert np.median(outlier_errs) < np.median(uniform_errs)
+
+    def test_zero_fraction(self, heavy):
+        idx = build_outlier_index(heavy, "value", 0.0)
+        assert idx.outliers.num_rows == 0
+
+    def test_fraction_validation(self, heavy):
+        with pytest.raises(ValueError):
+            build_outlier_index(heavy, "value", 1.0)
+
+
+class TestMeasureBiased:
+    def test_expected_size(self, heavy, rng):
+        s = measure_biased_sample(heavy, "value", 2000, rng)
+        assert 500 < s.num_rows < 8000  # clipping makes this loose
+
+    def test_sum_estimate_accurate(self, heavy, rng):
+        s = measure_biased_sample(heavy, "value", 2000, rng)
+        est = mb_estimate_sum(s)
+        truth = heavy["value"].sum()
+        assert est.value == pytest.approx(truth, rel=0.1)
+
+    def test_beats_uniform_variance_on_skew(self, heavy):
+        assert optimal_variance_ratio(heavy["value"]) > 5
+
+    def test_uniform_measure_ratio_is_one(self):
+        assert optimal_variance_ratio(np.full(1000, 3.0)) == pytest.approx(1.0)
+
+    def test_predicate_mask(self, heavy, rng):
+        s = measure_biased_sample(heavy, "value", 3000, rng)
+        mask = s.table["group_id"] == 1
+        est = mb_estimate_sum(s, mask)
+        truth = heavy["value"][heavy["group_id"] == 1].sum()
+        assert est.value == pytest.approx(truth, rel=0.25)
+
+    def test_size_validation(self, heavy):
+        with pytest.raises(ValueError):
+            measure_biased_sample(heavy, "value", 0)
+
+
+class TestDistinctSampler:
+    @pytest.fixture
+    def zipf(self):
+        return Table(zipf_group_table(60_000, num_groups=500, zipf_s=1.6, seed=9))
+
+    def test_full_group_coverage(self, zipf, rng):
+        s = distinct_sample(zipf, ["group_id"], rate=0.01, frequency_cap=4, rng=rng)
+        assert group_coverage(s, zipf) == 1.0
+
+    def test_uniform_coverage_is_worse(self, zipf, rng):
+        u = bernoulli_sample(zipf, 0.01, rng)
+        base_groups = len(np.unique(zipf["group_id"]))
+        seen = len(np.unique(u.table["group_id"]))
+        assert seen < base_groups
+
+    def test_count_estimate_unbiasedish(self, zipf):
+        ests = []
+        for t in range(25):
+            s = distinct_sample(
+                zipf, ["group_id"], 0.02, frequency_cap=5,
+                rng=np.random.default_rng(t),
+            )
+            ests.append(s.estimate_count().value)
+        assert np.mean(ests) == pytest.approx(zipf.num_rows, rel=0.05)
+
+    def test_weights_bounded_by_inverse_rate(self, zipf, rng):
+        s = distinct_sample(zipf, ["group_id"], 0.1, frequency_cap=2, rng=rng)
+        assert s.weights.max() <= 1.0 / 0.1 + 1e-9
+        assert s.weights.min() >= 1.0
+
+    def test_validation(self, zipf):
+        with pytest.raises(ValueError):
+            distinct_sample(zipf, ["group_id"], 0.0)
+        with pytest.raises(ValueError):
+            distinct_sample(zipf, ["group_id"], 0.5, frequency_cap=0)
+
+
+class TestUniverseSampling:
+    def test_keys_survive_together(self, rng):
+        left = Table({"k": rng.integers(0, 1000, 20_000), "v": rng.random(20_000)})
+        right = Table({"k": np.arange(1000), "w": rng.random(1000)})
+        ls, rs = joint_universe_samples(left, "k", right, "k", 0.2, seed=3)
+        assert set(np.unique(ls.table["k"])) <= set(np.unique(rs.table["k"]))
+
+    def test_key_fraction_near_rate(self, rng):
+        t = Table({"k": np.arange(10_000)})
+        s = universe_sample(t, "k", 0.1, seed=1)
+        assert s.num_rows == pytest.approx(1000, abs=120)
+
+    def test_join_sum_estimate(self, rng):
+        n, d = 50_000, 2000
+        keys = rng.integers(0, d, n)
+        left = Table({"k": keys, "v": rng.exponential(5, n)})
+        right = Table({"k": np.arange(d), "w": rng.random(d)})
+        truth = float(np.sum(left["v"] * right["w"][keys]))
+        ls, rs = joint_universe_samples(left, "k", right, "k", 0.15, seed=8)
+        li, ri, _ = join_indices([ls.table["k"]], [rs.table["k"]])
+        vals = ls.table["v"][li] * rs.table["w"][ri]
+        est = estimate_join_sum(vals, ls.table["k"][li], 0.15)
+        assert est.value == pytest.approx(truth, rel=0.25)
+        lo, hi = est.ci(0.95)
+        assert lo < truth < hi
+
+    def test_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            universe_sample(Table({"k": np.arange(5)}), "k", 0.0)
+
+
+class TestReservoir:
+    def test_fills_to_capacity(self):
+        r = ReservoirSampler(10, seed=0)
+        r.offer_many(range(5))
+        assert len(r) == 5
+        r.offer_many(range(5, 100))
+        assert len(r) == 10
+
+    def test_uniformity_chi_squared(self):
+        # Each of 20 items should land in a 10-slot reservoir w.p. 1/2.
+        counts = np.zeros(20)
+        for seed in range(400):
+            r = ReservoirSampler(10, seed=seed)
+            r.offer_many(range(20))
+            for item in r.sample():
+                counts[item] += 1
+        expected = 400 * 10 / 20
+        chi2 = float(np.sum((counts - expected) ** 2 / expected))
+        # 19 dof; 99.9th percentile ~ 43.8
+        assert chi2 < 43.8
+
+    def test_offer_one_matches_seen(self):
+        r = ReservoirSampler(5, seed=1)
+        for i in range(1000):
+            r.offer(i)
+        assert r.seen == 1000
+
+    def test_weight(self):
+        r = ReservoirSampler(10, seed=2)
+        r.offer_many(range(1000))
+        assert r.weight == pytest.approx(100.0)
+
+    def test_mean_estimate(self):
+        r = ReservoirSampler(500, seed=3)
+        r.offer_many(range(100_000))
+        assert np.mean(r.sample_array()) == pytest.approx(50_000, rel=0.1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+
+class TestJoinSynopsis:
+    @pytest.fixture
+    def star(self, rng):
+        db = Database()
+        n, d = 30_000, 200
+        db.create_table(
+            "fact",
+            {"fk": rng.integers(0, d, n), "v": rng.exponential(3, n)},
+        )
+        db.create_table(
+            "dim",
+            {"k": np.arange(d), "cat": rng.integers(0, 5, d)},
+        )
+        return db
+
+    def test_build_and_estimate(self, star, rng):
+        syn = build_join_synopsis(
+            star, "fact", [ForeignKeyEdge("fk", "dim", "k")], 3000, rng
+        )
+        assert "dim.cat" in syn.sample.table.column_names
+        # SUM(v) over the join (which equals SUM over fact for FK joins)
+        est = syn.sample.estimate_sum("v")
+        assert est.value == pytest.approx(star.table("fact")["v"].sum(), rel=0.1)
+
+    def test_filtered_dimension_predicate(self, star, rng):
+        syn = build_join_synopsis(
+            star, "fact", [ForeignKeyEdge("fk", "dim", "k")], 5000, rng
+        )
+        mask = syn.sample.table["dim.cat"] == 2
+        filt = syn.sample.filtered(mask)
+        cats = star.table("dim")["cat"][star.table("fact")["fk"]]
+        truth = star.table("fact")["v"][cats == 2].sum()
+        assert filt.estimate_sum("v").value == pytest.approx(truth, rel=0.2)
+
+    def test_broken_fk_rejected(self, rng):
+        db = Database()
+        db.create_table("fact", {"fk": np.array([0, 99]), "v": np.array([1.0, 2.0])})
+        db.create_table("dim", {"k": np.array([0]), "c": np.array([1])})
+        with pytest.raises(SynopsisError, match="no match"):
+            build_join_synopsis(db, "fact", [ForeignKeyEdge("fk", "dim", "k")], 2, rng)
+
+    def test_non_n1_join_rejected(self, rng):
+        db = Database()
+        db.create_table("fact", {"fk": np.array([0]), "v": np.array([1.0])})
+        db.create_table("dim", {"k": np.array([0, 0]), "c": np.array([1, 2])})
+        with pytest.raises(SynopsisError, match="N:1"):
+            build_join_synopsis(db, "fact", [ForeignKeyEdge("fk", "dim", "k")], 1, rng)
+
+    def test_refresh_needed_after_growth(self, star, rng):
+        syn = build_join_synopsis(
+            star, "fact", [ForeignKeyEdge("fk", "dim", "k")], 1000, rng
+        )
+        assert not refresh_needed(syn, star)
+        star.append_rows(
+            "fact",
+            {"fk": rng.integers(0, 200, 10_000), "v": rng.random(10_000)},
+        )
+        assert refresh_needed(syn, star)

@@ -1,0 +1,349 @@
+"""Tests for all sketch synopses: accuracy bounds, merges, guarantees."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+
+from repro.core.exceptions import MergeError
+from repro.sketches import (
+    AMSSketch,
+    BloomFilter,
+    CountMinSketch,
+    CountSketch,
+    GKQuantileSketch,
+    HyperLogLog,
+    KMVSketch,
+    SpaceSaving,
+)
+from repro.sketches.hyperloglog import sample_based_distinct_estimate
+
+
+@pytest.fixture(scope="module")
+def zipf_stream():
+    rng = np.random.default_rng(21)
+    vals = rng.zipf(1.4, 300_000)
+    return vals[vals < 50_000]
+
+
+class TestHyperLogLog:
+    @pytest.mark.parametrize("true_d", [100, 10_000, 200_000])
+    def test_estimate_within_bounds(self, true_d):
+        h = HyperLogLog(precision=12, seed=1)
+        h.add(np.arange(true_d))
+        rel = abs(h.estimate() - true_d) / true_d
+        assert rel < 5 * h.relative_standard_error
+
+    def test_duplicates_ignored(self):
+        h = HyperLogLog(12)
+        h.add(np.zeros(10_000, dtype=np.int64))
+        assert h.estimate() == pytest.approx(1, abs=1)
+
+    def test_linear_counting_small_range(self):
+        h = HyperLogLog(12)
+        h.add(np.arange(50))
+        assert h.estimate() == pytest.approx(50, abs=3)
+
+    def test_merge_equals_union(self):
+        a, b = HyperLogLog(11, seed=3), HyperLogLog(11, seed=3)
+        a.add(np.arange(0, 60_000))
+        b.add(np.arange(30_000, 90_000))
+        merged = a.merge(b)
+        assert merged.estimate() == pytest.approx(90_000, rel=0.05)
+
+    def test_merge_mismatch(self):
+        with pytest.raises(MergeError):
+            HyperLogLog(10).merge(HyperLogLog(11))
+
+    def test_string_values(self):
+        h = HyperLogLog(12)
+        h.add(np.array([f"user_{i}" for i in range(5000)], dtype=object))
+        assert h.estimate() == pytest.approx(5000, rel=0.1)
+
+    def test_memory_is_registers(self):
+        assert HyperLogLog(10).memory_bytes() == 1024
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(3)
+
+    def test_sampling_estimator_fails_badly(self):
+        """E5's point: a sample-based distinct estimate is wildly off where
+        the same-memory HLL is within a few percent."""
+        rng = np.random.default_rng(0)
+        n, d = 400_000, 80_000
+        vals = rng.integers(0, d, n)
+        vals[:d] = np.arange(d)
+        true_d = len(np.unique(vals))
+        sample = vals[rng.random(n) < 0.01]
+        sample_est = sample_based_distinct_estimate(sample, 0.01, n)
+        h = HyperLogLog(12)
+        h.add(vals)
+        hll_rel = abs(h.estimate() - true_d) / true_d
+        sample_rel = abs(sample_est - true_d) / true_d
+        assert hll_rel < 0.05
+        assert sample_rel > 5 * hll_rel
+
+
+class TestCountMin:
+    def test_never_underestimates(self, zipf_stream):
+        cm = CountMinSketch(epsilon=0.005, delta=0.01, seed=2)
+        cm.add(zipf_stream)
+        uniq, counts = np.unique(zipf_stream[:2000], return_counts=True)
+        true = {u: int(np.sum(zipf_stream == u)) for u in uniq[:50]}
+        for u, t in true.items():
+            assert cm.query_one(u) >= t
+
+    def test_error_within_bound(self, zipf_stream):
+        cm = CountMinSketch(epsilon=0.002, delta=0.01, seed=3)
+        cm.add(zipf_stream)
+        probes = np.unique(zipf_stream)[:200]
+        true_counts = {u: int(np.sum(zipf_stream == u)) for u in probes}
+        violations = sum(
+            1
+            for u, t in true_counts.items()
+            if cm.query_one(u) - t > cm.error_bound
+        )
+        assert violations <= max(1, int(0.02 * len(probes)))
+
+    def test_weighted_adds(self):
+        cm = CountMinSketch(0.01, 0.01)
+        cm.add(np.array([7, 8]), counts=np.array([100, 5]))
+        assert cm.query_one(7) >= 100
+
+    def test_merge(self, zipf_stream):
+        a = CountMinSketch(0.01, 0.01, seed=4)
+        b = CountMinSketch(0.01, 0.01, seed=4)
+        a.add(zipf_stream[:10_000])
+        b.add(zipf_stream[10_000:20_000])
+        merged = a.merge(b)
+        whole = CountMinSketch(0.01, 0.01, seed=4)
+        whole.add(zipf_stream[:20_000])
+        assert merged.query_one(1) == whole.query_one(1)
+
+    def test_merge_mismatch(self):
+        with pytest.raises(MergeError):
+            CountMinSketch(0.01, 0.01, seed=1).merge(CountMinSketch(0.01, 0.01, seed=2))
+
+    def test_inner_product_estimates_join_size(self, rng):
+        a_vals = rng.integers(0, 100, 20_000)
+        b_vals = rng.integers(0, 100, 20_000)
+        a = CountMinSketch.with_shape(5, 4096, seed=5)
+        b = CountMinSketch.with_shape(5, 4096, seed=5)
+        a.add(a_vals)
+        b.add(b_vals)
+        fa = np.bincount(a_vals, minlength=100)
+        fb = np.bincount(b_vals, minlength=100)
+        truth = int(np.dot(fa, fb))
+        est = a.inner_product(b)
+        assert truth <= est <= truth * 1.2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0, delta=0.1)
+
+
+class TestCountSketch:
+    def test_unbiased_heavy_item(self, zipf_stream):
+        ests = []
+        truth = int(np.sum(zipf_stream == 1))
+        for seed in range(10):
+            cs = CountSketch(depth=5, width=4096, seed=seed)
+            cs.add(zipf_stream)
+            ests.append(cs.query_one(1))
+        assert np.mean(ests) == pytest.approx(truth, rel=0.05)
+
+    def test_second_moment(self, zipf_stream):
+        cs = CountSketch(depth=7, width=8192, seed=11)
+        cs.add(zipf_stream)
+        truth = float(np.sum(np.bincount(zipf_stream).astype(np.float64) ** 2))
+        assert cs.second_moment() == pytest.approx(truth, rel=0.1)
+
+    def test_merge(self):
+        a, b = CountSketch(3, 256, seed=6), CountSketch(3, 256, seed=6)
+        a.add(np.array([1, 1, 2]))
+        b.add(np.array([1, 3]))
+        merged = a.merge(b)
+        assert merged.total == 5
+
+
+class TestKMV:
+    def test_estimate(self):
+        k = KMVSketch(512, seed=7)
+        k.add(np.arange(100_000))
+        assert k.estimate() == pytest.approx(100_000, rel=0.15)
+
+    def test_exact_below_k(self):
+        k = KMVSketch(1024, seed=7)
+        k.add(np.arange(100))
+        assert k.estimate() == 100
+        assert k.theta == 1.0
+
+    def test_union(self):
+        a, b = KMVSketch(512, seed=8), KMVSketch(512, seed=8)
+        a.add(np.arange(0, 50_000))
+        b.add(np.arange(25_000, 75_000))
+        assert a.union(b).estimate() == pytest.approx(75_000, rel=0.15)
+
+    def test_intersection_and_jaccard(self):
+        a, b = KMVSketch(1024, seed=9), KMVSketch(1024, seed=9)
+        a.add(np.arange(0, 40_000))
+        b.add(np.arange(20_000, 60_000))
+        assert a.intersection_estimate(b) == pytest.approx(20_000, rel=0.25)
+        assert a.jaccard_estimate(b) == pytest.approx(1 / 3, rel=0.3)
+
+    def test_difference(self):
+        a, b = KMVSketch(1024, seed=10), KMVSketch(1024, seed=10)
+        a.add(np.arange(0, 30_000))
+        b.add(np.arange(0, 15_000))
+        assert a.difference_estimate(b) == pytest.approx(15_000, rel=0.3)
+
+    def test_seed_mismatch(self):
+        with pytest.raises(MergeError):
+            KMVSketch(64, seed=1).union(KMVSketch(64, seed=2))
+
+
+class TestAMS:
+    def test_f2(self, rng):
+        vals = rng.zipf(1.5, 30_000)
+        vals = vals[vals < 1000]
+        a = AMSSketch(depth=9, width=96, seed=12)
+        a.add(vals)
+        truth = float(np.sum(np.bincount(vals).astype(np.float64) ** 2))
+        assert a.second_moment() == pytest.approx(truth, rel=0.4)
+
+    def test_join_size(self, rng):
+        x = rng.integers(0, 50, 10_000)
+        y = rng.integers(0, 50, 10_000)
+        a = AMSSketch(depth=9, width=128, seed=13)
+        b = AMSSketch(depth=9, width=128, seed=13)
+        a.add(x)
+        b.add(y)
+        truth = float(np.dot(np.bincount(x, minlength=50), np.bincount(y, minlength=50)))
+        assert a.join_size(b) == pytest.approx(truth, rel=0.3)
+
+    def test_merge_additive(self):
+        a, b = AMSSketch(3, 16, seed=1), AMSSketch(3, 16, seed=1)
+        a.add(np.array([1, 2]))
+        b.add(np.array([3]))
+        assert a.merge(b).total == 3
+
+
+class TestBloom:
+    def test_no_false_negatives(self, rng):
+        bf = BloomFilter(5000, 0.01, seed=4)
+        members = rng.integers(0, 10**9, 5000)
+        bf.add(members)
+        assert bf.contains(members).all()
+
+    @given(hst.lists(hst.integers(0, 10**6), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_membership(self, items):
+        bf = BloomFilter(max(len(items), 10), 0.01)
+        bf.add(np.asarray(items))
+        assert bf.contains(np.asarray(items)).all()
+
+    def test_fp_rate_near_design(self, rng):
+        bf = BloomFilter(10_000, 0.02, seed=5)
+        bf.add(np.arange(10_000))
+        non_members = np.arange(1_000_000, 1_050_000)
+        fp = bf.contains(non_members).mean()
+        assert fp < 0.05
+
+    def test_estimated_fp_tracks_fill(self):
+        bf = BloomFilter(1000, 0.01)
+        assert bf.estimated_fp_rate() == 0.0
+        bf.add(np.arange(1000))
+        assert 0 < bf.estimated_fp_rate() < 0.05
+
+    def test_merge_union(self):
+        a, b = BloomFilter(100, 0.01, seed=6), BloomFilter(100, 0.01, seed=6)
+        a.add(np.array([1]))
+        b.add(np.array([2]))
+        m = a.merge(b)
+        assert m.contains_one(1) and m.contains_one(2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 0.01)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 1.5)
+
+
+class TestSpaceSaving:
+    def test_heavy_hitters_complete(self, zipf_stream):
+        ss = SpaceSaving(200)
+        ss.add(zipf_stream[:50_000].tolist())
+        found = {k for k, _ in ss.heavy_hitters(0.02)}
+        counts = np.bincount(zipf_stream[:50_000])
+        true_heavy = set(np.flatnonzero(counts > 0.02 * 50_000).tolist())
+        assert true_heavy <= found
+
+    def test_count_bounds(self, zipf_stream):
+        ss = SpaceSaving(300)
+        stream = zipf_stream[:30_000].tolist()
+        ss.add(stream)
+        truth = int(np.sum(zipf_stream[:30_000] == 1))
+        assert ss.guaranteed_count(1) <= truth <= ss.estimate(1)
+
+    def test_max_error_bound(self, zipf_stream):
+        ss = SpaceSaving(100)
+        ss.add(zipf_stream[:20_000].tolist())
+        assert ss.max_error <= 20_000 / 100 * 3  # loose sanity bound
+
+    def test_capacity_respected(self):
+        ss = SpaceSaving(10)
+        ss.add(list(range(1000)))
+        assert ss.memory_entries() == 10
+
+    def test_top_k_sorted(self, zipf_stream):
+        ss = SpaceSaving(50)
+        ss.add(zipf_stream[:10_000].tolist())
+        top = ss.top_k(5)
+        assert top[0][1] >= top[-1][1]
+        assert top[0][0] == 1  # zipf's most frequent item
+
+
+class TestGKQuantiles:
+    def test_rank_error_bound(self, rng):
+        data = rng.normal(0, 1, 10_000)
+        g = GKQuantileSketch(epsilon=0.02)
+        g.add(data)
+        sorted_data = np.sort(data)
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            est = g.query(phi)
+            rank = np.searchsorted(sorted_data, est)
+            assert abs(rank - phi * len(data)) <= 3 * 0.02 * len(data)
+
+    def test_space_sublinear(self, rng):
+        g = GKQuantileSketch(epsilon=0.01)
+        g.add(rng.random(20_000))
+        assert g.memory_entries() < 2000
+
+    def test_min_max_exact(self):
+        g = GKQuantileSketch(0.05)
+        g.add(np.arange(100.0))
+        assert g.query(0.0) == 0.0
+        assert g.query(1.0) == 99.0
+
+    def test_empty(self):
+        assert math.isnan(GKQuantileSketch(0.1).query(0.5))
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            GKQuantileSketch(0.1).query(1.5)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            GKQuantileSketch(0.7)
+
+    @given(hst.lists(hst.floats(-1e6, 1e6), min_size=10, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_property_median_within_range(self, values):
+        g = GKQuantileSketch(0.1)
+        g.add(np.asarray(values))
+        med = g.median()
+        assert min(values) <= med <= max(values)

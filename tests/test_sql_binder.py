@@ -1,0 +1,203 @@
+"""Tests for name resolution and plan lowering."""
+
+import numpy as np
+import pytest
+
+from repro import BindError, Database, UnsupportedQueryError
+from repro.sql.binder import bind_sql
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table(
+        "t",
+        {
+            "a": np.arange(10, dtype=np.int64),
+            "v": np.arange(10, dtype=np.float64),
+            "g": np.arange(10) % 2,
+        },
+    )
+    db.create_table(
+        "u", {"k": np.arange(2, dtype=np.int64), "v": np.array([5.0, 6.0])}
+    )
+    return db
+
+
+def rows(db, sql, seed=0):
+    table, _ = db.execute(bind_sql(sql, db).plan, seed=seed)
+    return table.to_pylist()
+
+
+class TestResolution:
+    def test_unqualified_unique(self, db):
+        out = rows(db, "SELECT a FROM t WHERE a < 3")
+        assert [r["a"] for r in out] == [0, 1, 2]
+
+    def test_qualified(self, db):
+        out = rows(db, "SELECT t.a FROM t WHERE t.a = 4")
+        assert len(out) == 1
+
+    def test_unknown_column(self, db):
+        with pytest.raises(BindError, match="unknown column"):
+            bind_sql("SELECT nope FROM t", db)
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(BindError, match="unknown table alias"):
+            bind_sql("SELECT z.a FROM t", db)
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind_sql("SELECT v FROM t JOIN u ON t.g = u.k", db)
+
+    def test_qualified_disambiguates(self, db):
+        out = rows(db, "SELECT u.v AS uv FROM t JOIN u ON t.g = u.k")
+        assert len(out) == 10
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(BindError, match="duplicate"):
+            bind_sql("SELECT 1 FROM t JOIN t ON t.a = t.a", db)
+
+    def test_self_join_with_aliases(self, db):
+        out = rows(
+            db,
+            "SELECT x.a AS xa, y.a AS ya FROM t x JOIN t y ON x.a = y.a LIMIT 3",
+        )
+        assert all(r["xa"] == r["ya"] for r in out)
+
+    def test_select_star_single_table(self, db):
+        out = rows(db, "SELECT * FROM t LIMIT 1")
+        assert set(out[0]) == {"a", "v", "g"}
+
+    def test_missing_from(self, db):
+        with pytest.raises(BindError, match="FROM"):
+            bind_sql("SELECT 1", db)
+
+
+class TestAggregateBinding:
+    def test_decomposition(self, db):
+        bound = bind_sql("SELECT SUM(v) AS s, COUNT(*) AS c FROM t", db)
+        assert bound.is_aggregate
+        assert len(bound.aggregates) == 2
+        assert bound.pre_agg_plan is not None
+
+    def test_duplicate_aggregates_shared(self, db):
+        bound = bind_sql("SELECT SUM(v) + SUM(v) AS twice FROM t", db)
+        assert len(bound.aggregates) == 1  # SUM(v) registered once
+
+    def test_composite_expression_result(self, db):
+        out = rows(db, "SELECT SUM(v) / COUNT(*) AS mean FROM t")
+        assert out[0]["mean"] == pytest.approx(4.5)
+
+    def test_group_key_passthrough(self, db):
+        out = rows(db, "SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY g")
+        assert [r["g"] for r in out] == [0, 1]
+        assert out[0]["s"] == pytest.approx(0 + 2 + 4 + 6 + 8)
+
+    def test_bare_column_requires_group_by(self, db):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind_sql("SELECT a, SUM(v) FROM t", db)
+
+    def test_nested_aggregate_rejected(self, db):
+        with pytest.raises(BindError, match="nested"):
+            bind_sql("SELECT SUM(AVG(v)) FROM t", db)
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(BindError, match="WHERE"):
+            bind_sql("SELECT SUM(v) FROM t WHERE SUM(v) > 3", db)
+
+    def test_aggregate_in_group_by_rejected(self, db):
+        with pytest.raises(UnsupportedQueryError):
+            bind_sql("SELECT COUNT(*) FROM t GROUP BY SUM(v)", db)
+
+    def test_having_with_hidden_aggregate(self, db):
+        out = rows(
+            db, "SELECT g FROM t GROUP BY g HAVING COUNT(*) > 10"
+        )
+        assert out == []
+
+    def test_having_filters(self, db):
+        out = rows(
+            db,
+            "SELECT g, SUM(v) AS s FROM t GROUP BY g HAVING SUM(v) > 21",
+        )
+        assert len(out) == 1 and out[0]["g"] == 1
+
+    def test_select_star_in_aggregate_rejected(self, db):
+        with pytest.raises(BindError, match=r"\*"):
+            bind_sql("SELECT *, COUNT(*) FROM t GROUP BY g", db)
+
+    def test_count_distinct_binds(self, db):
+        bound = bind_sql("SELECT COUNT(DISTINCT g) AS d FROM t", db)
+        assert bound.aggregates[0].func == "count_distinct"
+
+    def test_avg_executes(self, db):
+        out = rows(db, "SELECT AVG(v) AS m FROM t")
+        assert out[0]["m"] == pytest.approx(4.5)
+
+    def test_case_inside_aggregate(self, db):
+        out = rows(
+            db,
+            "SELECT SUM(CASE WHEN g = 1 THEN v ELSE 0 END) AS odd_sum FROM t",
+        )
+        assert out[0]["odd_sum"] == pytest.approx(1 + 3 + 5 + 7 + 9)
+
+
+class TestOrderLimit:
+    def test_order_by_alias(self, db):
+        out = rows(db, "SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY s DESC")
+        assert out[0]["g"] == 1
+
+    def test_order_by_position(self, db):
+        out = rows(db, "SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY 2")
+        assert out[0]["g"] == 0
+
+    def test_order_by_position_out_of_range(self, db):
+        with pytest.raises(BindError, match="position"):
+            bind_sql("SELECT g FROM t GROUP BY g ORDER BY 5", db)
+
+    def test_order_by_unknown(self, db):
+        with pytest.raises(BindError, match="ORDER BY"):
+            bind_sql("SELECT g FROM t GROUP BY g ORDER BY nope", db)
+
+    def test_limit_recorded(self, db):
+        bound = bind_sql("SELECT g FROM t GROUP BY g LIMIT 1", db)
+        assert bound.limit == 1
+
+
+class TestJoinConditions:
+    def test_equi_keys_extracted(self, db):
+        bound = bind_sql("SELECT COUNT(*) AS c FROM t JOIN u ON t.g = u.k", db)
+        assert bound.tables[0].name == "t"
+
+    def test_reversed_equality_ok(self, db):
+        out = rows(db, "SELECT COUNT(*) AS c FROM t JOIN u ON u.k = t.g")
+        assert out[0]["c"] == 10
+
+    def test_residual_predicate_applied(self, db):
+        out = rows(
+            db,
+            "SELECT COUNT(*) AS c FROM t JOIN u ON t.g = u.k AND u.v > 5.5",
+        )
+        assert out[0]["c"] == 5  # only k=1 side survives
+
+    def test_non_equi_join_rejected(self, db):
+        with pytest.raises(UnsupportedQueryError, match="equi"):
+            bind_sql("SELECT COUNT(*) AS c FROM t JOIN u ON t.g < u.k", db)
+
+
+class TestSampleLowering:
+    def test_bernoulli_percent(self, db):
+        bound = bind_sql("SELECT a FROM t TABLESAMPLE BERNOULLI (50)", db)
+        assert bound.tables[0].sample.method == "bernoulli_rows"
+        assert bound.tables[0].sample.rate == pytest.approx(0.5)
+
+    def test_system_percent(self, db):
+        bound = bind_sql("SELECT a FROM t TABLESAMPLE SYSTEM (10)", db)
+        assert bound.tables[0].sample.method == "system_blocks"
+
+    def test_error_spec_captured(self, db):
+        bound = bind_sql(
+            "SELECT SUM(v) AS s FROM t ERROR WITHIN 5% CONFIDENCE 95%", db
+        )
+        assert bound.error_spec.relative_error == pytest.approx(0.05)

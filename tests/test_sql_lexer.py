@@ -1,0 +1,81 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro import SQLSyntaxError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokenKinds:
+    def test_keywords_uppercased(self):
+        assert kinds("select from")[0] == ("KEYWORD", "SELECT")
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("MyTable")[0] == ("IDENT", "MyTable")
+
+    def test_integer_and_float(self):
+        assert kinds("42 3.14 .5")[1] == ("NUMBER", "3.14")
+        assert kinds(".5")[0] == ("NUMBER", ".5")
+
+    def test_scientific_notation(self):
+        assert kinds("1e5 2.5E-3") == [("NUMBER", "1e5"), ("NUMBER", "2.5E-3")]
+
+    def test_string_literal(self):
+        assert kinds("'hello world'") == [("STRING", "hello world")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+
+    def test_quoted_identifier(self):
+        assert kinds('"Weird Name"') == [("IDENT", "Weird Name")]
+
+    def test_operators(self):
+        ops = [v for k, v in kinds("a <= b <> c != d")]
+        assert "<=" in ops and ops.count("<>") == 2  # != normalized to <>
+
+    def test_comment_skipped(self):
+        toks = kinds("select -- a comment\n 1")
+        assert toks == [("KEYWORD", "SELECT"), ("NUMBER", "1")]
+
+    def test_eof_token(self):
+        assert tokenize("x")[-1].kind == "EOF"
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert toks[0].position == 0
+        assert toks[1].position == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SQLSyntaxError, match="identifier"):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_has_position(self):
+        try:
+            tokenize("abc $")
+        except SQLSyntaxError as e:
+            assert e.position == 4
+
+
+class TestTokenHelpers:
+    def test_matches_keyword(self):
+        tok = Token("KEYWORD", "SELECT", 0)
+        assert tok.matches_keyword("SELECT", "FROM")
+        assert not tok.matches_keyword("WHERE")
+
+    def test_ident_does_not_match_keyword(self):
+        tok = Token("IDENT", "SELECT", 0)
+        assert not tok.matches_keyword("SELECT")

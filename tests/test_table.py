@@ -1,0 +1,148 @@
+"""Tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro import SchemaError, Table
+
+
+def make(n=10, block_size=4):
+    return Table(
+        {"a": np.arange(n), "b": np.arange(n) * 2.0},
+        name="t",
+        block_size=block_size,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make()
+        assert t.num_rows == 10
+        assert t.num_columns == 2
+        assert t.column_names == ["a", "b"]
+
+    def test_empty(self):
+        t = Table({})
+        assert t.num_rows == 0
+        assert t.num_blocks == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(SchemaError, match="rows"):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_2d_rejected(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_bad_block_size(self):
+        with pytest.raises(SchemaError):
+            Table({"a": [1]}, block_size=0)
+
+    def test_strings_become_object(self):
+        t = Table({"s": ["x", "y"]})
+        assert t["s"].dtype == object
+
+    def test_bools_preserved(self):
+        t = Table({"f": [True, False]})
+        assert t["f"].dtype == bool
+
+    def test_missing_column(self):
+        with pytest.raises(SchemaError, match="no column"):
+            make()["nope"]
+
+
+class TestDerivation:
+    def test_take_indices(self):
+        t = make().take(np.array([1, 3, 5]))
+        assert t["a"].tolist() == [1, 3, 5]
+
+    def test_take_mask(self):
+        t = make()
+        out = t.take(t["a"] % 2 == 0)
+        assert out["a"].tolist() == [0, 2, 4, 6, 8]
+
+    def test_take_bad_mask_length(self):
+        with pytest.raises(SchemaError):
+            make().take(np.array([True, False]))
+
+    def test_select(self):
+        t = make().select(["b"])
+        assert t.column_names == ["b"]
+
+    def test_rename(self):
+        t = make().rename({"a": "x"})
+        assert "x" in t and "a" not in t
+
+    def test_with_column_adds(self):
+        t = make().with_column("c", np.zeros(10))
+        assert t.num_columns == 3
+
+    def test_with_column_replaces(self):
+        t = make().with_column("a", np.zeros(10))
+        assert t["a"].sum() == 0
+
+    def test_head(self):
+        assert make().head(3).num_rows == 3
+
+    def test_head_overlong(self):
+        assert make().head(100).num_rows == 10
+
+    def test_slice_rows(self):
+        t = make().slice_rows(2, 5)
+        assert t["a"].tolist() == [2, 3, 4]
+
+    def test_concat(self):
+        t = Table.concat([make(3), make(4)])
+        assert t.num_rows == 7
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(SchemaError, match="UNION"):
+            Table.concat([make(), Table({"x": [1]})])
+
+    def test_concat_empty_list(self):
+        assert Table.concat([]).num_rows == 0
+
+    def test_empty_like(self):
+        t = Table.empty_like(make())
+        assert t.num_rows == 0
+        assert t.column_names == ["a", "b"]
+
+
+class TestBlocks:
+    def test_num_blocks(self):
+        assert make(10, 4).num_blocks == 3
+
+    def test_block_bounds(self):
+        t = make(10, 4)
+        assert t.block_bounds(0) == (0, 4)
+        assert t.block_bounds(2) == (8, 10)  # short last block
+
+    def test_block_bounds_out_of_range(self):
+        with pytest.raises(IndexError):
+            make(10, 4).block_bounds(3)
+
+    def test_block_contents(self):
+        t = make(10, 4)
+        assert t.block(1)["a"].tolist() == [4, 5, 6, 7]
+
+    def test_block_ids_of_rows(self):
+        t = make(10, 4)
+        ids = t.block_ids_of_rows(np.array([0, 4, 9]))
+        assert ids.tolist() == [0, 1, 2]
+
+
+class TestConvenience:
+    def test_iter_rows(self):
+        rows = list(make(3).iter_rows())
+        assert rows[1] == (1, 2.0)
+
+    def test_to_pylist(self):
+        rows = make(2).to_pylist()
+        assert rows == [{"a": 0, "b": 0.0}, {"a": 1, "b": 2.0}]
+
+    def test_estimated_bytes_positive(self):
+        assert make().estimated_bytes() > 0
+
+    def test_estimated_bytes_object_columns(self):
+        t = Table({"s": ["hello"] * 10})
+        assert t.estimated_bytes() >= 10 * 24

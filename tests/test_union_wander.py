@@ -1,0 +1,125 @@
+"""Tests for UNION ALL support and the wander join."""
+
+import numpy as np
+import pytest
+
+from repro import BindError, Database, SQLSyntaxError, Table
+from repro.online.wander import WanderJoin
+from repro.offline.sample_seek import build_seek_index
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("a", {"x": np.arange(10), "v": np.ones(10)})
+    db.create_table("b", {"x": np.arange(4), "v": np.full(4, 2.0)})
+    return db
+
+
+class TestUnionAll:
+    def test_parse(self):
+        stmt = parse_sql("SELECT x FROM a UNION ALL SELECT x FROM b")
+        assert len(stmt.union_branches) == 1
+
+    def test_three_way(self, db):
+        res = db.sql(
+            "SELECT v FROM a UNION ALL SELECT v FROM b UNION ALL SELECT v FROM b"
+        )
+        assert res.table.num_rows == 18
+
+    def test_bag_semantics_keep_duplicates(self, db):
+        res = db.sql("SELECT x FROM b UNION ALL SELECT x FROM b")
+        assert res.table.num_rows == 8
+
+    def test_predicates_per_branch(self, db):
+        res = db.sql(
+            "SELECT x FROM a WHERE x < 2 UNION ALL SELECT x FROM b WHERE x > 2"
+        )
+        assert sorted(res.table["x"].tolist()) == [0, 1, 3]
+
+    def test_aggregate_branches(self, db):
+        res = db.sql("SELECT SUM(v) AS s FROM a UNION ALL SELECT SUM(v) AS s FROM b")
+        assert sorted(res.table["s"].tolist()) == [8.0, 10.0]
+
+    def test_mismatched_schemas_rejected(self, db):
+        with pytest.raises(BindError, match="same columns"):
+            db.sql("SELECT x FROM a UNION ALL SELECT x, v FROM b")
+
+    def test_union_requires_all(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT x FROM a UNION SELECT x FROM b")
+
+    def test_order_by_in_branch_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="ORDER BY"):
+            parse_sql("SELECT x FROM a ORDER BY x UNION ALL SELECT x FROM b")
+
+    def test_error_clause_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="ERROR WITHIN"):
+            parse_sql(
+                "SELECT SUM(v) AS s FROM a UNION ALL SELECT SUM(v) AS s FROM b "
+                "ERROR WITHIN 5% CONFIDENCE 95%"
+            )
+
+
+class TestWanderJoin:
+    @pytest.fixture
+    def join_data(self, rng):
+        n, d = 60_000, 1500
+        keys = rng.integers(0, d, n)
+        left = Table({"k": keys, "v": rng.exponential(5.0, n)})
+        right = Table({"k": np.arange(d), "w": rng.random(d)})
+        truth = float(np.sum(left["v"] * right["w"][keys]))
+        return left, right, truth
+
+    def test_unbiased(self, join_data):
+        left, right, truth = join_data
+        ests = []
+        for seed in range(10):
+            wj = WanderJoin(left, right, "k", "k", "v", "w", seed=seed)
+            ests.append(wj.advance(2000).value)
+        assert np.mean(ests) == pytest.approx(truth, rel=0.03)
+
+    def test_ci_covers_and_shrinks(self, join_data):
+        left, right, truth = join_data
+        wj = WanderJoin(left, right, "k", "k", "v", "w", seed=3)
+        early = wj.advance(500)
+        late = wj.advance(8000)
+        assert late.relative_half_width < early.relative_half_width
+        assert late.ci_low <= truth <= late.ci_high
+
+    def test_no_scan_cost_model(self, join_data):
+        """Wander join's cost is per-walk index seeks — far below a scan
+        for a quick estimate."""
+        from repro.storage.cost import scan_cost
+
+        left, right, truth = join_data
+        wj = WanderJoin(left, right, "k", "k", "v", "w", seed=4)
+        snap = wj.advance(200)
+        full = scan_cost(left.num_rows // 1024 + 1, left.num_rows).total
+        # A couple hundred seeks beat scanning; per-walk seeks are pricey,
+        # so wander join wins only while few walks are needed (its classic
+        # regime: quick, rough join estimates on indexed data).
+        assert snap.simulated_cost < full
+
+    def test_failed_walks_counted(self, rng):
+        # Half the left keys have no partner.
+        left = Table({"k": rng.integers(0, 20, 5000), "v": np.ones(5000)})
+        right = Table({"k": np.arange(10), "w": np.ones(10)})
+        wj = WanderJoin(left, right, "k", "k", "v", "w", seed=5)
+        snap = wj.advance(2000)
+        assert snap.successful_walks < snap.walks
+        truth = float(np.sum(left["k"] < 10))
+        assert snap.value == pytest.approx(truth, rel=0.15)
+
+    def test_run_until_target(self, join_data):
+        left, right, _ = join_data
+        wj = WanderJoin(left, right, "k", "k", "v", "w", seed=6)
+        snaps = list(wj.run(batch=1000, target_relative_error=0.05))
+        assert snaps[-1].relative_half_width <= 0.05
+
+    def test_reuses_prebuilt_index(self, join_data):
+        left, right, truth = join_data
+        idx = build_seek_index(right, "k")
+        wj = WanderJoin(left, right, "k", "k", "v", "w", seed=7, index=idx)
+        assert wj.advance(3000).value == pytest.approx(truth, rel=0.15)

@@ -1,0 +1,163 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.offline import QueryTemplate
+from repro.workloads import (
+    SSB_LITE_QUERIES,
+    TPCH_LITE_QUERIES,
+    WorkloadGenerator,
+    WorkloadSpec,
+    clustered_values,
+    distinct_count_table,
+    drift,
+    generate_ssb,
+    generate_tpch,
+    heavy_tailed_table,
+    selectivity_table,
+    template_overlap,
+    uniform_table,
+    zipf_group_table,
+)
+
+
+class TestTPCH:
+    def test_schema(self, tpch_db):
+        assert set(tpch_db.table_names) >= {
+            "lineitem", "orders", "customer", "part", "supplier",
+            "nation", "region",
+        }
+
+    def test_size_ratios(self, tpch_db):
+        li = tpch_db.table("lineitem").num_rows
+        orders = tpch_db.table("orders").num_rows
+        assert 3 <= li / orders <= 5
+
+    def test_referential_integrity(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        orders = tpch_db.table("orders")
+        assert li["l_orderkey"].max() < orders.num_rows
+        nation = tpch_db.table("nation")
+        region = tpch_db.table("region")
+        assert nation["n_regionkey"].max() < region.num_rows
+
+    def test_all_queries_execute(self, tpch_db):
+        for name, sql in TPCH_LITE_QUERIES.items():
+            result = tpch_db.sql(sql)
+            assert result.table.num_rows >= 1, name
+
+    def test_deterministic(self):
+        a = generate_tpch(scale=0.1, seed=5)
+        b = generate_tpch(scale=0.1, seed=5)
+        assert np.array_equal(
+            a.table("lineitem")["l_extendedprice"],
+            b.table("lineitem")["l_extendedprice"],
+        )
+
+    def test_q6_selective_but_nonempty(self, tpch_db):
+        res = tpch_db.sql(TPCH_LITE_QUERIES["q6_forecast"])
+        assert res.scalar() > 0
+
+
+class TestSSB:
+    def test_schema(self, ssb_db):
+        assert set(ssb_db.table_names) == {
+            "lineorder", "date_dim", "customer_dim", "supplier_dim", "part_dim",
+        }
+
+    def test_all_queries_execute(self, ssb_db):
+        for name, sql in SSB_LITE_QUERIES.items():
+            result = ssb_db.sql(sql)
+            assert result.table.num_rows >= 1, name
+
+    def test_fk_integrity(self, ssb_db):
+        lo = ssb_db.table("lineorder")
+        assert lo["lo_custkey"].max() < ssb_db.table("customer_dim").num_rows
+        assert lo["lo_orderdate"].max() < ssb_db.table("date_dim").num_rows
+
+
+class TestSyntheticTables:
+    def test_uniform_shape(self):
+        cols = uniform_table(1000, num_groups=5, seed=1)
+        assert len(cols["value"]) == 1000
+        assert set(np.unique(cols["group_id"])) <= set(range(5))
+
+    def test_heavy_tail_has_outliers(self):
+        cols = heavy_tailed_table(20_000, sigma=2.5, seed=1)
+        v = cols["value"]
+        assert v.max() > 50 * np.median(v)
+
+    def test_zipf_group_sizes_skewed(self):
+        cols = zipf_group_table(50_000, num_groups=200, zipf_s=1.5, seed=1)
+        counts = np.bincount(cols["group_id"], minlength=200)
+        assert counts.max() > 20 * max(np.median(counts), 1)
+
+    def test_selectivity_column_uniform(self):
+        cols = selectivity_table(50_000, seed=1)
+        assert np.mean(cols["selector"] < 0.25) == pytest.approx(0.25, abs=0.01)
+
+    def test_clustered_values_layout(self):
+        cols = clustered_values(10_000, block_size=100, seed=1)
+        v = cols["value"]
+        within = np.std(v[:100])
+        overall = np.std(v)
+        assert within < overall / 5
+
+    def test_distinct_count_exact_truth(self):
+        cols = distinct_count_table(30_000, num_distinct=5000, seed=1)
+        assert len(np.unique(cols["user_id"])) == 5000
+
+
+class TestWorkloadDrift:
+    def spec(self):
+        return WorkloadSpec(
+            table="facts",
+            column_weights={"a": 8.0, "b": 1.5, "c": 0.5},
+            measure="value",
+            selector="sel",
+        )
+
+    def test_templates_follow_weights(self):
+        gen = WorkloadGenerator(self.spec(), seed=1)
+        templates = gen.sample_templates(500)
+        counts = {}
+        for t in templates:
+            counts[t.columns[0]] = counts.get(t.columns[0], 0) + 1
+        assert counts["a"] > counts["b"] > counts.get("c", 0)
+
+    def test_sql_strings_well_formed(self):
+        gen = WorkloadGenerator(self.spec(), seed=2)
+        for sql in gen.sample_sql(10):
+            assert sql.startswith("SELECT")
+            assert "GROUP BY" in sql and "WHERE sel <" in sql
+
+    def test_drift_zero_is_identity(self):
+        spec = self.spec()
+        drifted = drift(spec, 0.0)
+        assert drifted.normalized_weights() == pytest.approx(
+            spec.normalized_weights()
+        )
+
+    def test_drift_one_inverts_ranking(self):
+        spec = self.spec()
+        drifted = drift(spec, 1.0)
+        w = drifted.normalized_weights()
+        assert w["c"] > w["a"]
+
+    def test_drift_reduces_overlap(self):
+        spec = self.spec()
+        gen_a = WorkloadGenerator(spec, seed=3)
+        gen_b = WorkloadGenerator(drift(spec, 1.0), seed=3)
+        a = gen_a.sample_templates(50)
+        b = gen_b.sample_templates(50)
+        assert template_overlap(a, a) == 1.0
+        assert template_overlap(a, b) <= 1.0
+
+    def test_drift_validation(self):
+        with pytest.raises(ValueError):
+            drift(self.spec(), 1.5)
+
+    def test_template_frequency_validation(self):
+        with pytest.raises(Exception):
+            QueryTemplate("t", ("a",), frequency=-1.0)
