@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full benchmark suite in parallel workers -> benchmarks/results/BENCH_results.json
+bench:
+	$(PYTHON) -m repro bench
+
+## Fast (~30s) subset; fails on >2x regression vs benchmarks/BENCH_baseline.json
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke

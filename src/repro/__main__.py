@@ -13,12 +13,16 @@ diagnostics. Intended as the smallest possible end-to-end demo surface:
 
     # interactive session over CSV files
     python -m repro --csv sales=data/sales.csv
+
+    # parallel benchmark harness (-> benchmarks/results/BENCH_results.json)
+    python -m repro bench --smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -130,7 +134,92 @@ def run_query(db: Database, sql: str, seed: int) -> str:
     return format_result(result)
 
 
+def _benchmarks_dir() -> str:
+    """Locate the repo's ``benchmarks/`` directory.
+
+    Works from a source checkout (benchmarks/ sits next to src/) and
+    falls back to the current working directory for odd layouts.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    for root in (os.path.dirname(os.path.dirname(here)), os.getcwd()):
+        candidate = os.path.join(root, "benchmarks")
+        if os.path.isfile(os.path.join(candidate, "common.py")):
+            return candidate
+    raise SystemExit("cannot locate benchmarks/ (run from the repo checkout)")
+
+
+def run_bench(argv: List[str]) -> int:
+    """``python -m repro bench``: the parallel benchmark harness.
+
+    Runs the experiment suite in worker processes, writes
+    ``benchmarks/results/BENCH_results.json``, and (unless ``--no-check``)
+    compares against the committed baseline, failing on regressions.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the benchmark suite in parallel workers",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast ~30s subset instead of the full suite",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker processes"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="flag experiments slower than THRESHOLD x baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="baseline JSON to compare against"
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the regression comparison",
+    )
+    args = parser.parse_args(argv)
+
+    bench_dir = _benchmarks_dir()
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import common as bench_common
+
+    doc = bench_common.run_suite(smoke=args.smoke, workers=args.workers)
+    print(f"\nwrote {bench_common.BENCH_RESULTS_JSON}")
+    for exp in doc["experiments"]:
+        warm = (
+            f"  warm {exp['warm_wall_s']:.2f}s "
+            f"(cache hits {exp['warm_cache']['hits']})"
+            if "warm_wall_s" in exp
+            else ""
+        )
+        print(
+            f"  {exp['status']:>6}  {exp['name']:<28} "
+            f"cold {exp['cold_wall_s']:.2f}s{warm}"
+        )
+    failed = [e for e in doc["experiments"] if e["status"] != "ok"]
+    if args.no_check:
+        return 1 if failed else 0
+    baseline = args.baseline or bench_common.BASELINE_JSON
+    problems = bench_common.check_against_baseline(
+        doc, baseline_path=baseline, threshold=args.threshold
+    )
+    real = [p for p in problems if not p.startswith("note:")]
+    for p in problems:
+        print(("WARN " if p.startswith("note:") else "REGRESSION ") + p)
+    if not real and not failed:
+        print("regression check: clean")
+    return 1 if (real or failed) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "bench":
+        return run_bench(argv[1:])
     args = build_parser().parse_args(argv)
     db = make_database(args)
     print(f"tables: {', '.join(db.table_names)}", file=sys.stderr)

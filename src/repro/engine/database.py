@@ -57,6 +57,7 @@ class Database:
     def drop_table(self, name: str) -> None:
         self._tables.pop(name, None)
         self._stats.pop(name, None)
+        self._invalidate_synopses(name)
 
     def replace_table(self, name: str, table: Table) -> None:
         """Swap a table's contents (used by update/maintenance simulations)."""
@@ -66,6 +67,20 @@ class Database:
             table.columns_dict(), name=name, block_size=table.block_size
         )
         self._stats.pop(name, None)
+        self._invalidate_synopses(name)
+
+    @staticmethod
+    def _invalidate_synopses(name: str) -> None:
+        """Evict cached synopses of a table whose content changed.
+
+        The cache is content-addressed (keys embed the table
+        fingerprint), so this is a space reclamation, not a correctness
+        requirement — stale entries could never be returned for the new
+        content anyway.
+        """
+        from ..storage.synopsis_cache import get_global_cache
+
+        get_global_cache().invalidate_table(name)
 
     def append_rows(self, name: str, data: Mapping[str, Iterable]) -> None:
         """Append rows to a table (invalidates cached stats)."""

@@ -8,11 +8,17 @@ row ranges (see :mod:`repro.storage.blocks`).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.exceptions import SchemaError
+
+#: Values sampled per column by :meth:`Table.fingerprint`. Enough that a
+#: table swap is detected with near-certainty, small enough that the
+#: fingerprint stays O(columns) regardless of row count.
+_FINGERPRINT_SAMPLES = 64
 
 #: Default number of rows per storage block. Chosen so that laptop-scale
 #: tables (1e5-1e7 rows) have enough blocks for block sampling to be
@@ -53,7 +59,7 @@ class Table:
         cost model's notion of I/O.
     """
 
-    __slots__ = ("_columns", "name", "block_size")
+    __slots__ = ("_columns", "name", "block_size", "_fingerprint_cache")
 
     def __init__(
         self,
@@ -76,6 +82,7 @@ class Table:
             self._columns[col_name] = arr
         self.name = name
         self.block_size = block_size
+        self._fingerprint_cache: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -225,6 +232,43 @@ class Table:
         """Rows as list of dicts (slow; tests/debug only)."""
         names = self.column_names
         return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def fingerprint(self) -> str:
+        """Cheap, deterministic content hash for synopsis-cache keys.
+
+        Hashes the schema (column names + dtypes), the row count, and a
+        checksum of up to ``_FINGERPRINT_SAMPLES`` evenly spaced values
+        per column (always including the first and last row). Any length
+        change and almost any content change flips the digest; a change
+        confined entirely to unsampled rows of an equal-length table can
+        escape — the documented price of an O(columns) fingerprint.
+
+        Tables are immutable, so the digest is computed once and cached.
+        """
+        if self._fingerprint_cache is not None:
+            return self._fingerprint_cache
+        h = hashlib.blake2b(digest_size=16)
+        n = self.num_rows
+        h.update(f"rows={n};block={self.block_size};".encode())
+        if n:
+            take = min(n, _FINGERPRINT_SAMPLES)
+            probe = np.unique(
+                np.concatenate(
+                    [np.linspace(0, n - 1, take).astype(np.int64), [0, n - 1]]
+                )
+            )
+        else:
+            probe = np.array([], dtype=np.int64)
+        from ..sketches.hashing import hash64
+
+        for name in sorted(self._columns):
+            arr = self._columns[name]
+            h.update(f"{name}:{arr.dtype.str};".encode())
+            if len(probe):
+                # Position-sensitive: the raw hash vector, not a reduction.
+                h.update(np.ascontiguousarray(hash64(arr[probe], seed=1)).tobytes())
+        self._fingerprint_cache = h.hexdigest()
+        return self._fingerprint_cache
 
     def estimated_bytes(self) -> int:
         """Rough in-memory footprint used by the cost model."""

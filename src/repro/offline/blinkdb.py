@@ -15,6 +15,7 @@ enforces at query time.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -23,6 +24,7 @@ import numpy as np
 
 from ..core.exceptions import SynopsisError
 from ..sampling.stratified import stratified_sample
+from ..storage.synopsis_cache import SynopsisCache, get_global_cache
 from .catalog import SampleEntry, SynopsisCatalog
 
 
@@ -65,14 +67,19 @@ class BlinkDBSelector:
         budget_rows: int,
         rows_per_stratum: int = 100,
         seed: Optional[int] = None,
+        cache: Optional[SynopsisCache] = None,
     ) -> None:
         if budget_rows < 1:
             raise SynopsisError("budget_rows must be >= 1")
         self.database = database
         self.budget_rows = budget_rows
         self.rows_per_stratum = rows_per_stratum
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.catalog = SynopsisCatalog.for_database(database)
+        #: memoizes materialized stratified samples across rebuilds; only
+        #: consulted when ``seed`` makes each build deterministic
+        self.cache = get_global_cache() if cache is None else cache
 
     # ------------------------------------------------------------------
     def candidates(self, workload: Sequence[QueryTemplate]) -> List[CandidateSample]:
@@ -149,19 +156,58 @@ class BlinkDBSelector:
 
     # ------------------------------------------------------------------
     def materialize(self, chosen: Sequence[CandidateSample]) -> List[SampleEntry]:
-        """Build the selected samples and register them in the catalog."""
+        """Build the selected samples and register them in the catalog.
+
+        With a ``seed``, each candidate's sample is drawn from its own
+        deterministic generator (derived from the seed and the candidate
+        identity) and memoized in the synopsis cache keyed on the table's
+        content fingerprint — so re-running the selector after a restart
+        or in a benchmark rerun reuses the stored sample instead of
+        re-stratifying the base table. Without a seed the legacy shared-
+        generator path is kept and nothing is cached.
+        """
         entries: List[SampleEntry] = []
         for cand in chosen:
             table = self.database.table(cand.table)
             strata = cand.columns[0] if len(cand.columns) == 1 else list(cand.columns)
-            sample = stratified_sample(
-                table,
-                strata,
-                total_size=cand.storage_rows,
-                policy="congress",
-                min_per_stratum=min(self.rows_per_stratum, max(table.num_rows, 1)),
-                rng=self.rng,
-            )
+            min_per = min(self.rows_per_stratum, max(table.num_rows, 1))
+
+            def build(table=table, strata=strata, cand=cand, min_per=min_per):
+                if self.seed is None:
+                    rng = self.rng
+                else:
+                    # Stable per-candidate stream: independent of build
+                    # order, build count, and PYTHONHASHSEED.
+                    digest = hashlib.blake2b(
+                        "/".join(cand.columns).encode(), digest_size=4
+                    ).digest()
+                    rng = np.random.default_rng(
+                        [self.seed, int.from_bytes(digest, "little")]
+                    )
+                return stratified_sample(
+                    table,
+                    strata,
+                    total_size=cand.storage_rows,
+                    policy="congress",
+                    min_per_stratum=min_per,
+                    rng=rng,
+                )
+
+            if self.seed is None:
+                sample = build()
+            else:
+                sample = self.cache.get_or_build(
+                    table,
+                    kind="blinkdb_stratified",
+                    columns=cand.columns,
+                    params={
+                        "storage_rows": cand.storage_rows,
+                        "min_per_stratum": min_per,
+                        "policy": "congress",
+                        "seed": self.seed,
+                    },
+                    builder=build,
+                )
             entry = SampleEntry(
                 table=cand.table,
                 sample=sample,

@@ -13,11 +13,12 @@ offline rewriter and the advisor look synopses up through it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SynopsisError
 from ..sampling.base import WeightedSample
 from ..sampling.join_synopsis import JoinSynopsis
+from ..storage.synopsis_cache import SynopsisCache, get_global_cache
 
 
 @dataclass
@@ -67,12 +68,19 @@ class SynopsisCatalog:
 
     _ATTR = "_repro_synopsis_catalog"
 
-    def __init__(self, database, staleness_threshold: float = 0.1) -> None:
+    def __init__(
+        self,
+        database,
+        staleness_threshold: float = 0.1,
+        cache: Optional[SynopsisCache] = None,
+    ) -> None:
         self.database = database
         self.staleness_threshold = staleness_threshold
         self.samples: List[SampleEntry] = []
         self.sketches: Dict[Tuple[str, str, str], SketchEntry] = {}
         self.join_synopses: List[JoinSynopsis] = []
+        #: content-addressed store shared across catalog rebuilds
+        self.cache = get_global_cache() if cache is None else cache
         setattr(database, self._ATTR, self)
 
     # ------------------------------------------------------------------
@@ -154,6 +162,46 @@ class SynopsisCatalog:
         if require_fresh and entry.staleness(self.database) > self.staleness_threshold:
             return None
         return entry
+
+    def ensure_sketch(
+        self,
+        table: str,
+        column: str,
+        kind: str,
+        builder: Callable[..., object],
+        params: Optional[Dict[str, object]] = None,
+    ) -> SketchEntry:
+        """A fresh sketch entry, built through the synopsis cache.
+
+        ``builder(table_obj, column)`` runs only when neither this
+        catalog nor the cache holds the synopsis — so a rebuilt catalog
+        (a benchmark rerun, a fresh session over the same data) reuses
+        the sketch bytes instead of re-ingesting the column.
+        """
+        existing = self.find_sketch(table, column, kind)
+        if existing is not None:
+            return existing
+        table_obj = self.database.table(table)
+        sketch = self.cache.get_or_build(
+            table_obj,
+            kind=f"sketch:{kind}",
+            columns=(column,),
+            params=params,
+            builder=lambda: builder(table_obj, column),
+        )
+        entry = SketchEntry(
+            table=table,
+            column=column,
+            kind=kind,
+            sketch=sketch,
+            built_at_rows=table_obj.num_rows,
+        )
+        self.add_sketch(entry)
+        return entry
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters of the backing synopsis cache."""
+        return self.cache.stats.as_dict()
 
     # ------------------------------------------------------------------
     # Join synopses

@@ -19,7 +19,7 @@ import numpy as np
 from ..core.errorspec import z_value
 from ..core.exceptions import PlanError
 from ..engine.table import Table
-from ..estimators.closed_form import Estimate, srs_mean, srs_sum
+from ..estimators.closed_form import ratio_from_sums, srs_sum_from_sums
 
 
 @dataclass
@@ -76,25 +76,34 @@ class OnlineAggregator:
             if predicate_mask is not None
             else np.ones(table.num_rows, dtype=bool)
         )
-        # Pre-permute so iteration is just slicing a prefix.
+        # Pre-permute so iteration is just slicing a prefix, and keep
+        # running moments so every snapshot is O(1) instead of O(prefix):
+        # the scalar estimators only ever need Σy, Σy², Σm, Σm² and Σy·m
+        # of the prefix, all of which cumulative sums provide directly.
         self._values = np.where(mask, values, 0.0)[self._order]
         self._matches = mask[self._order].astype(np.float64)
         self._population = table.num_rows
+        self._cum_v = np.cumsum(self._values)
+        self._cum_v2 = np.cumsum(self._values * self._values)
+        self._cum_m = np.cumsum(self._matches)
 
     # ------------------------------------------------------------------
     def snapshot(self, rows_seen: int) -> OLASnapshot:
         """Estimate from the first ``rows_seen`` rows of the permutation."""
         n = min(max(rows_seen, 1), self._population)
-        prefix_vals = self._values[:n]
-        prefix_match = self._matches[:n]
+        if n == 0:
+            return OLASnapshot(0, 0.0, math.nan, -math.inf, math.inf)
+        sum_v = float(self._cum_v[n - 1])
+        sum_v2 = float(self._cum_v2[n - 1])
+        sum_m = float(self._cum_m[n - 1])
         if self.agg == "sum":
-            est = srs_sum(prefix_vals, self._population)
+            est = srs_sum_from_sums(n, self._population, sum_v, sum_v2)
         elif self.agg == "count":
-            est = srs_sum(prefix_match, self._population)
+            # matches are 0/1 so Σm² = Σm
+            est = srs_sum_from_sums(n, self._population, sum_m, sum_m)
         else:  # avg over matching rows: ratio estimator
-            from ..estimators.closed_form import ratio_estimate
-
-            est = ratio_estimate(prefix_vals, prefix_match)
+            # values are zeroed outside the predicate, so Σv·m = Σv.
+            est = ratio_from_sums(n, sum_v, sum_m, sum_v2, sum_m, sum_v)
         lo, hi = est.ci(self.confidence)
         return OLASnapshot(
             rows_seen=n,

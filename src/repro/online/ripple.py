@@ -84,18 +84,20 @@ class RippleJoin:
         self._kl = 0
         self._kr = 0
         self._join_sum = 0.0
-        #: per-left-row joined contribution at read time (for variance)
-        self._left_contrib: List[float] = []
-        self._right_contrib: List[float] = []
+        #: per-row joined contributions at read time (for variance), kept
+        #: as chunks of numpy arrays so batched advances stay vectorized
+        self._left_contrib: List[np.ndarray] = []
+        self._right_contrib: List[np.ndarray] = []
 
     # ------------------------------------------------------------------
     def _step_left(self) -> None:
+        """Scalar reference step (kept as the batch kernel's oracle)."""
         i = self._kl
         key = self._lkeys[i]
         value = self._lvals[i]
         partner = self._right_seen.get(key, 0.0)
         self._join_sum += value * partner
-        self._left_contrib.append(value * partner)
+        self._left_contrib.append(np.array([value * partner]))
         self._left_seen[key] = self._left_seen.get(key, 0.0) + value
         self._kl += 1
 
@@ -105,19 +107,91 @@ class RippleJoin:
         value = self._rvals[j]
         partner = self._left_seen.get(key, 0.0)
         self._join_sum += value * partner
-        self._right_contrib.append(value * partner)
+        self._right_contrib.append(np.array([value * partner]))
         self._right_seen[key] = self._right_seen.get(key, 0.0) + value
         self._kr += 1
 
+    def _advance_batch(self, steps: int) -> None:
+        """Vectorized equivalent of ``steps`` interleaved L/R scalar steps.
+
+        Each left row joins the right rows read strictly before it, each
+        right row the left rows read up to and including its own step.
+        Encoding reads as events at times (2t for left, 2t+1 for right)
+        and taking per-key, time-ordered exclusive prefix sums of the
+        opposite side reproduces the scalar partner sums exactly.
+        """
+        ml = min(steps, self.n_left - self._kl)
+        mr = min(steps, self.n_right - self._kr)
+        if ml <= 0 and mr <= 0:
+            return
+        lkeys = self._lkeys[self._kl : self._kl + ml]
+        lvals = self._lvals[self._kl : self._kl + ml]
+        rkeys = self._rkeys[self._kr : self._kr + mr]
+        rvals = self._rvals[self._kr : self._kr + mr]
+
+        keys = np.concatenate([lkeys, rkeys])
+        uniq, codes = np.unique(keys, return_inverse=True)
+        vals = np.concatenate([lvals, rvals])
+        times = np.concatenate(
+            [2 * np.arange(ml, dtype=np.int64), 2 * np.arange(mr, dtype=np.int64) + 1]
+        )
+        is_left = np.zeros(ml + mr, dtype=bool)
+        is_left[:ml] = True
+
+        order = np.lexsort((times, codes))
+        k_sorted = codes[order]
+        v_sorted = vals[order]
+        left_sorted = is_left[order]
+        n_ev = len(order)
+        new_seg = np.empty(n_ev, dtype=bool)
+        new_seg[0] = True
+        np.not_equal(k_sorted[1:], k_sorted[:-1], out=new_seg[1:])
+        # Segment-exclusive cumulative sums per side.
+        seg_start = np.maximum.accumulate(np.where(new_seg, np.arange(n_ev), 0))
+
+        def _seg_excl(x: np.ndarray) -> np.ndarray:
+            c = np.cumsum(x)
+            excl = np.concatenate([[0.0], c[:-1]])
+            return excl - excl[seg_start]
+
+        excl_left = _seg_excl(np.where(left_sorted, v_sorted, 0.0))
+        excl_right = _seg_excl(np.where(left_sorted, 0.0, v_sorted))
+
+        # State accumulated before this batch, looked up per unique key.
+        prev_left = np.array(
+            [self._left_seen.get(k, 0.0) for k in uniq], dtype=np.float64
+        )
+        prev_right = np.array(
+            [self._right_seen.get(k, 0.0) for k in uniq], dtype=np.float64
+        )
+        partner = np.where(
+            left_sorted,
+            prev_right[k_sorted] + excl_right,
+            prev_left[k_sorted] + excl_left,
+        )
+        contrib_sorted = v_sorted * partner
+        contrib = np.empty(n_ev, dtype=np.float64)
+        contrib[order] = contrib_sorted
+
+        self._join_sum += float(np.sum(contrib))
+        if ml:
+            self._left_contrib.append(contrib[:ml])
+        if mr:
+            self._right_contrib.append(contrib[ml:])
+        lsums = np.bincount(codes[:ml], weights=lvals, minlength=len(uniq))
+        rsums = np.bincount(codes[ml:], weights=rvals, minlength=len(uniq))
+        for i, k in enumerate(uniq):
+            key = k.item() if hasattr(k, "item") else k
+            if lsums[i]:
+                self._left_seen[key] = self._left_seen.get(key, 0.0) + lsums[i]
+            if rsums[i]:
+                self._right_seen[key] = self._right_seen.get(key, 0.0) + rsums[i]
+        self._kl += ml
+        self._kr += mr
+
     def advance(self, steps: int = 1000) -> RippleSnapshot:
         """Advance the square ripple by ``steps`` per side and snapshot."""
-        for _ in range(steps):
-            if self._kl < self.n_left:
-                self._step_left()
-            if self._kr < self.n_right:
-                self._step_right()
-            if self._kl >= self.n_left and self._kr >= self.n_right:
-                break
+        self._advance_batch(steps)
         return self.snapshot()
 
     def snapshot(self) -> RippleSnapshot:
@@ -127,12 +201,16 @@ class RippleJoin:
         value = self._join_sum * scale
         # Linearized variance: scaled per-row contributions on each side.
         var = 0.0
-        for contrib, k, n in (
+        for chunks, k, n in (
             (self._left_contrib, kl, self.n_left),
             (self._right_contrib, kr, self.n_right),
         ):
-            if len(contrib) > 1:
-                c = np.asarray(contrib, dtype=np.float64)
+            c = (
+                np.concatenate(chunks)
+                if chunks
+                else np.empty(0, dtype=np.float64)
+            )
+            if len(c) > 1:
                 # Each left-row contribution pairs with kr/n_right of S; a
                 # full-data contribution would be c * (n_right/kr) etc.
                 side_scale = scale * k  # total-from-mean scaling

@@ -52,15 +52,21 @@ class ReservoirSampler:
 
     def offer_many(self, items: Iterable) -> None:
         """Offer a batch; uses Algorithm L's skip counts to touch only the
-        admitted items when the reservoir is already full."""
-        items = list(items)
+        admitted items when the reservoir is already full.
+
+        Numpy arrays are indexed in place — no O(n) list copy — so the
+        per-batch cost is O(admitted · log) regardless of batch size.
+        """
+        if not isinstance(items, np.ndarray):
+            items = list(items)
         i = 0
         n = len(items)
-        # Fill phase
-        while i < n and self._seen < self.capacity:
-            self._reservoir.append(items[i])
-            self._seen += 1
-            i += 1
+        # Fill phase (bulk-extend instead of one append per row).
+        if i < n and self._seen < self.capacity:
+            take = min(n, self.capacity - self._seen)
+            self._reservoir.extend(items[:take])
+            self._seen += take
+            i = take
         # Skip phase
         while i < n:
             if self._seen + (n - i) <= self._next_index:

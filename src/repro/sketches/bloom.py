@@ -15,7 +15,7 @@ from typing import Iterable
 import numpy as np
 
 from ..core.exceptions import MergeError
-from .hashing import hash64
+from .hashing import hash64_batch
 
 
 def optimal_parameters(expected_items: int, fp_rate: float) -> tuple:
@@ -43,13 +43,17 @@ class BloomFilter:
         self.bits = np.zeros(self.num_bits, dtype=bool)
         self.items_added = 0
 
+    def _probe_matrix(self, arr: np.ndarray) -> np.ndarray:
+        """(num_hashes, n) bit positions from one batched hash call."""
+        seeds = [self.seed * 3000 + probe for probe in range(self.num_hashes)]
+        return (hash64_batch(arr, seeds) % np.uint64(self.num_bits)).astype(np.int64)
+
     def add(self, values: Iterable) -> None:
         arr = np.asarray(values if not np.isscalar(values) else [values])
         if len(arr) == 0:
             return
-        for probe in range(self.num_hashes):
-            idx = (hash64(arr, seed=self.seed * 3000 + probe) % np.uint64(self.num_bits)).astype(np.int64)
-            self.bits[idx] = True
+        idx = self._probe_matrix(arr)
+        self.bits[idx.ravel()] = True
         self.items_added += len(arr)
 
     def contains(self, values: Iterable) -> np.ndarray:
@@ -57,11 +61,8 @@ class BloomFilter:
         arr = np.asarray(values if not np.isscalar(values) else [values])
         if len(arr) == 0:
             return np.array([], dtype=bool)
-        result = np.ones(len(arr), dtype=bool)
-        for probe in range(self.num_hashes):
-            idx = (hash64(arr, seed=self.seed * 3000 + probe) % np.uint64(self.num_bits)).astype(np.int64)
-            result &= self.bits[idx]
-        return result
+        idx = self._probe_matrix(arr)
+        return self.bits[idx].all(axis=0)
 
     def contains_one(self, value) -> bool:
         return bool(self.contains(np.asarray([value]))[0])

@@ -15,7 +15,7 @@ from typing import Iterable, Optional, Tuple
 import numpy as np
 
 from ..core.exceptions import MergeError
-from .hashing import hash64
+from .hashing import hash64_batch
 
 
 class CountMinSketch:
@@ -51,6 +51,17 @@ class CountMinSketch:
         return sketch
 
     # ------------------------------------------------------------------
+    def _bucket_matrix(self, arr: np.ndarray) -> np.ndarray:
+        """(depth, n) bucket indices; one value->uint64 conversion total.
+
+        Both update and query go through here so they are guaranteed to
+        agree on the hash, and string columns pay the stringify cost once
+        rather than once per sketch row.
+        """
+        seeds = [self.seed * 1000 + row for row in range(self.depth)]
+        hashes = hash64_batch(arr, seeds)
+        return (hashes % np.uint64(self.width)).astype(np.int64)
+
     def add(self, values: Iterable, counts: Optional[np.ndarray] = None) -> None:
         """Add a batch of items, optionally with per-item multiplicities."""
         arr = np.asarray(values if not np.isscalar(values) else [values])
@@ -60,9 +71,9 @@ class CountMinSketch:
             counts = np.ones(len(arr), dtype=np.int64)
         else:
             counts = np.asarray(counts, dtype=np.int64)
+        idx = self._bucket_matrix(arr)
         for row in range(self.depth):
-            idx = (hash64(arr, seed=self.seed * 1000 + row) % np.uint64(self.width)).astype(np.int64)
-            np.add.at(self.counters[row], idx, counts)
+            np.add.at(self.counters[row], idx[row], counts)
         self.total += int(counts.sum())
 
     def query(self, values: Iterable) -> np.ndarray:
@@ -70,10 +81,10 @@ class CountMinSketch:
         arr = np.asarray(values if not np.isscalar(values) else [values])
         if len(arr) == 0:
             return np.array([], dtype=np.int64)
+        idx = self._bucket_matrix(arr)
         best = np.full(len(arr), np.iinfo(np.int64).max, dtype=np.int64)
         for row in range(self.depth):
-            idx = (hash64(arr, seed=self.seed * 1000 + row) % np.uint64(self.width)).astype(np.int64)
-            best = np.minimum(best, self.counters[row][idx])
+            best = np.minimum(best, self.counters[row][idx[row]])
         return best
 
     def query_one(self, value) -> int:

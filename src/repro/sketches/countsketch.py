@@ -16,7 +16,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..core.exceptions import MergeError
-from .hashing import hash64
+from .hashing import hash64_batch
 
 
 class CountSketch:
@@ -32,13 +32,19 @@ class CountSketch:
         self.total = 0
 
     # ------------------------------------------------------------------
-    def _bucket_and_sign(self, arr: np.ndarray, row: int):
-        h = hash64(arr, seed=self.seed * 2000 + row)
-        idx = (h % np.uint64(self.width)).astype(np.int64)
+    def _buckets_and_signs(self, arr: np.ndarray):
+        """(depth, n) bucket indices and ±1 signs from one batched hash.
+
+        The bucket seeds and sign seeds are interleaved into a single
+        :func:`hash64_batch` call so the value -> uint64 conversion runs
+        once for all ``2 * depth`` hash rows.
+        """
+        seeds = [self.seed * 2000 + row for row in range(self.depth)]
+        seeds += [self.seed * 2000 + row + 7919 for row in range(self.depth)]
+        hashes = hash64_batch(arr, seeds)
+        idx = (hashes[: self.depth] % np.uint64(self.width)).astype(np.int64)
         signs = np.where(
-            (hash64(arr, seed=self.seed * 2000 + row + 7919) & np.uint64(1)).astype(bool),
-            1,
-            -1,
+            (hashes[self.depth :] & np.uint64(1)).astype(bool), 1, -1
         )
         return idx, signs
 
@@ -50,9 +56,9 @@ class CountSketch:
             counts = np.ones(len(arr), dtype=np.int64)
         else:
             counts = np.asarray(counts, dtype=np.int64)
+        idx, signs = self._buckets_and_signs(arr)
         for row in range(self.depth):
-            idx, signs = self._bucket_and_sign(arr, row)
-            np.add.at(self.counters[row], idx, signs * counts)
+            np.add.at(self.counters[row], idx[row], signs[row] * counts)
         self.total += int(counts.sum())
 
     def query(self, values: Iterable) -> np.ndarray:
@@ -60,10 +66,10 @@ class CountSketch:
         arr = np.asarray(values if not np.isscalar(values) else [values])
         if len(arr) == 0:
             return np.array([])
+        idx, signs = self._buckets_and_signs(arr)
         rows = np.empty((self.depth, len(arr)), dtype=np.float64)
         for row in range(self.depth):
-            idx, signs = self._bucket_and_sign(arr, row)
-            rows[row] = signs * self.counters[row][idx]
+            rows[row] = signs[row] * self.counters[row][idx[row]]
         return np.median(rows, axis=0)
 
     def query_one(self, value) -> float:

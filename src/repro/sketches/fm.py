@@ -53,6 +53,7 @@ class FlajoletMartin:
         np.bitwise_or.at(self.bitmaps, bucket, bits)
 
     def _lowest_unset(self, bitmap: np.uint64) -> int:
+        """Scalar reference for the vectorized trailing-ones count."""
         b = int(bitmap)
         j = 0
         while b & 1:
@@ -62,9 +63,15 @@ class FlajoletMartin:
 
     def estimate(self) -> float:
         """Distinct-count estimate via stochastic averaging."""
-        mean_r = float(
-            np.mean([self._lowest_unset(b) for b in self.bitmaps])
+        # Lowest unset bit = log2 of the lowest zero bit, isolated as
+        # ~b & (b + 1); powers of two are exact in float64 so log2 is safe.
+        with np.errstate(over="ignore"):
+            lowest_zero = ~self.bitmaps & (self.bitmaps + np.uint64(1))
+        # An all-ones bitmap makes b+1 wrap to 0: its lowest unset is 64.
+        ranks = np.where(
+            lowest_zero == 0, 64.0, np.log2(np.maximum(lowest_zero, 1).astype(np.float64))
         )
+        mean_r = float(np.mean(ranks))
         return self.num_bitmaps / PHI * (2.0**mean_r)
 
     @property

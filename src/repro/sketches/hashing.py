@@ -4,22 +4,64 @@ All sketches need independent-ish hash functions; the universe sampler
 needs a hash both join sides agree on. We provide:
 
 * :func:`hash64` — a vectorized splitmix64-style avalanche hash of
-  arbitrary numpy arrays (ints hashed directly, everything else via
-  stable per-value Python hashing of its string form);
+  arbitrary numpy arrays (ints hashed directly, strings via a vectorized
+  FNV-1a over their codepoint matrix);
+* :func:`hash64_batch` — the same hash under many seeds at once, paying
+  the value -> uint64 conversion exactly once (the conversion, not the
+  mixing, dominates for string columns);
 * :class:`TabulationHash` — 4-wise-ish independent tabulation hashing,
   the strongest cheap family, used where independence matters (KMV);
 * :func:`multiply_shift` — the classic 2-universal family for Count-Min
   rows.
+
+Scalar reference implementations (:func:`hash64_scalar`) are kept in
+pure Python so the vectorized kernels can be property-tested against
+them item by item.
 """
 
 from __future__ import annotations
 
-import hashlib
-from typing import Optional
+import struct
+from typing import Optional, Sequence
 
 import numpy as np
 
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_MASK64_INT = 0xFFFFFFFFFFFFFFFF
+
+#: FNV-1a 64-bit constants, used for the vectorized string path.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x00000100000001B3
+
+
+def _strings_to_uint64(arr: np.ndarray) -> np.ndarray:
+    """Vectorized FNV-1a over the UTF-32 codepoint matrix of a string
+    (or object) column.
+
+    ``astype("U")`` stringifies every element at C speed; viewing the
+    resulting fixed-width buffer as uint32 yields an (n, maxlen)
+    codepoint matrix we can fold column by column — maxlen iterations of
+    whole-array arithmetic instead of one Python hash call per row.
+    """
+    s = arr if arr.dtype.kind == "U" else arr.astype("U")
+    n = len(s)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    width = s.dtype.itemsize // 4  # UTF-32 codepoints per slot
+    lengths = np.char.str_len(s).astype(np.uint64)
+    h = np.full(n, _FNV_OFFSET, dtype=np.uint64)
+    if width:
+        codes = np.ascontiguousarray(s).view(np.uint32).reshape(n, width)
+        prime = np.uint64(_FNV_PRIME)
+        with np.errstate(over="ignore"):
+            for j in range(width):
+                active = np.uint64(j) < lengths
+                mixed = (h ^ codes[:, j].astype(np.uint64)) * prime
+                h = np.where(active, mixed, h)
+    # Fold the length in so prefixes do not collide with their padding.
+    with np.errstate(over="ignore"):
+        h = (h ^ lengths) * np.uint64(_FNV_PRIME)
+    return h
 
 
 def _to_uint64(values: np.ndarray) -> np.ndarray:
@@ -34,29 +76,74 @@ def _to_uint64(values: np.ndarray) -> np.ndarray:
         f = arr.astype(np.float64)
         f = np.where(f == 0.0, 0.0, f)
         return f.view(np.uint64)
-    # Strings / objects: stable digest of the string form.
-    out = np.empty(len(arr), dtype=np.uint64)
-    for i, v in enumerate(arr):
-        digest = hashlib.blake2b(str(v).encode("utf-8"), digest_size=8).digest()
-        out[i] = np.uint64(int.from_bytes(digest, "little"))
-    return out
+    # Strings / objects: vectorized digest of the string form.
+    return _strings_to_uint64(arr)
 
 
-def hash64(values: np.ndarray, seed: int = 0) -> np.ndarray:
-    """Vectorized 64-bit avalanche hash (splitmix64 finalizer)."""
-    x = _to_uint64(values)
+def _finalize(x: np.ndarray, seed: int) -> np.ndarray:
+    """splitmix64 finalizer applied to pre-converted uint64 inputs."""
     with np.errstate(over="ignore"):
-        x = (x + np.uint64((seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)) & _MASK64
+        x = (x + np.uint64((seed * 0x9E3779B97F4A7C15) & _MASK64_INT)) & _MASK64
         x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9) & _MASK64
         x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB) & _MASK64
         x = x ^ (x >> np.uint64(31))
     return x
 
 
+def hash64(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized 64-bit avalanche hash (splitmix64 finalizer)."""
+    return _finalize(_to_uint64(values), seed)
+
+
+def hash64_batch(values: np.ndarray, seeds: Sequence[int]) -> np.ndarray:
+    """Hash one batch of values under many seeds at once.
+
+    Returns an array of shape ``(len(seeds), len(values))`` where row
+    ``i`` equals ``hash64(values, seeds[i])`` bit for bit. The value ->
+    uint64 conversion (the expensive part for string columns) happens
+    once instead of once per seed, which is what multi-row sketches
+    (Count-Min, Count-Sketch, Bloom) want for both update and query.
+    """
+    x = _to_uint64(np.asarray(values))
+    out = np.empty((len(seeds), len(x)), dtype=np.uint64)
+    for i, seed in enumerate(seeds):
+        out[i] = _finalize(x, seed)
+    return out
+
+
 def hash_unit_interval(values: np.ndarray, seed: int = 0) -> np.ndarray:
     """Hash values to floats uniform in [0, 1) — the universe sampler's
     and KMV's shared coordinate system."""
     return hash64(values, seed=seed).astype(np.float64) / float(2**64)
+
+
+# ----------------------------------------------------------------------
+# Scalar reference implementations (property-test oracles)
+# ----------------------------------------------------------------------
+def _to_uint64_scalar(value) -> int:
+    """Pure-Python mirror of :func:`_to_uint64` for one value."""
+    if isinstance(value, (bool, np.bool_)):
+        return int(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value) & _MASK64_INT
+    if isinstance(value, (float, np.floating)):
+        f = float(value)
+        if f == 0.0:
+            f = 0.0
+        return struct.unpack("<Q", struct.pack("<d", f))[0]
+    s = str(value)
+    h = _FNV_OFFSET
+    for ch in s:
+        h = ((h ^ ord(ch)) * _FNV_PRIME) & _MASK64_INT
+    return ((h ^ len(s)) * _FNV_PRIME) & _MASK64_INT
+
+
+def hash64_scalar(value, seed: int = 0) -> int:
+    """Pure-Python mirror of :func:`hash64` for a single value."""
+    x = (_to_uint64_scalar(value) + seed * 0x9E3779B97F4A7C15) & _MASK64_INT
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64_INT
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64_INT
+    return (x ^ (x >> 31)) & _MASK64_INT
 
 
 def multiply_shift(values: np.ndarray, seed: int, out_bits: int) -> np.ndarray:

@@ -36,6 +36,12 @@ class KMVSketch:
         if len(arr) == 0:
             return
         coords = hash_unit_interval(arr, seed=self.seed)
+        if len(self.values) == self.k:
+            # Coordinates at or above theta can never enter the bottom-k;
+            # dropping them first keeps the sort-merge at O(k) per batch.
+            coords = coords[coords < self.values[-1]]
+            if len(coords) == 0:
+                return
         merged = np.unique(np.concatenate([self.values, coords]))
         self.values = merged[: self.k]
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+import numpy as np
+
 
 class SpaceSaving:
     """Deterministic top-k frequency summary."""
@@ -25,8 +27,27 @@ class SpaceSaving:
         self.total = 0
 
     def add(self, values: Iterable) -> None:
-        for value in values:
-            self.add_one(value)
+        """Add a batch, pre-aggregated per distinct value.
+
+        Weighted SpaceSaving: feeding each distinct value once with its
+        batch multiplicity preserves the overestimate/underestimate
+        guarantees (the error inherited on eviction is still bounded by
+        the evicted counter), while the Python-level loop shrinks from
+        O(batch) to O(distinct values in batch). Heaviest values are
+        applied first so they land in counters before any eviction churn.
+        """
+        if not isinstance(values, (np.ndarray, list, tuple)):
+            values = list(values)  # materialize generators
+        arr = np.asarray(values)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        if len(arr) == 0:
+            return
+        uniq, counts = np.unique(arr, return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        for i in order:
+            v = uniq[i]
+            self.add_one(v.item() if hasattr(v, "item") else v, int(counts[i]))
 
     def add_one(self, value, count: int = 1) -> None:
         self.total += count

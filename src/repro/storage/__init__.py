@@ -11,15 +11,27 @@ from .blocks import (
 )
 from .cost import CostEstimate, CostParameters, DEFAULT_COST
 from .statistics import ColumnStats, TableStats, compute_table_stats
+from .synopsis_cache import (
+    CacheStats,
+    SynopsisCache,
+    configure_global_cache,
+    get_global_cache,
+    set_global_cache,
+)
 
 __all__ = [
     "AccessStats",
     "BLOCK_ID_COLUMN",
+    "CacheStats",
     "ColumnStats",
     "CostEstimate",
     "CostParameters",
     "DEFAULT_COST",
+    "SynopsisCache",
     "TableStats",
+    "configure_global_cache",
+    "get_global_cache",
+    "set_global_cache",
     "block_sample_scan",
     "clustered_layout",
     "compute_table_stats",

@@ -282,3 +282,59 @@ class TestRippleJoin:
         snaps = list(rj.run(batch=2000, target_relative_error=0.2))
         assert snaps[-1].relative_half_width <= 0.2
         assert not rj.is_exhausted
+
+
+class TestRippleBatchEquivalence:
+    """The vectorized batch advance must reproduce the scalar steps."""
+
+    def _make_pair(self, seed=9, n_left=3_000, n_right=800, d=60):
+        rng = np.random.default_rng(seed)
+        left = Table(
+            {"k": rng.integers(0, d, n_left), "v": rng.exponential(2, n_left)}
+        )
+        right = Table(
+            {"k": rng.integers(0, d, n_right), "w": rng.random(n_right)}
+        )
+        mk = lambda: RippleJoin(left, right, "k", "k", "v", "w", seed=5)
+        return mk(), mk()
+
+    def _advance_scalar(self, rj, steps):
+        # The event order the batch kernel encodes: left at time 2t,
+        # right at 2t+1.
+        for _ in range(steps):
+            if rj._kl < rj.n_left:
+                rj._step_left()
+            if rj._kr < rj.n_right:
+                rj._step_right()
+
+    @pytest.mark.parametrize("batches", [[1], [7, 1, 250], [1000, 5000]])
+    def test_state_matches_scalar_reference(self, batches):
+        batch_rj, scalar_rj = self._make_pair()
+        for steps in batches:
+            batch_rj._advance_batch(steps)
+            self._advance_scalar(scalar_rj, steps)
+        assert batch_rj._kl == scalar_rj._kl
+        assert batch_rj._kr == scalar_rj._kr
+        assert batch_rj._join_sum == pytest.approx(
+            scalar_rj._join_sum, rel=1e-12, abs=1e-9
+        )
+        assert batch_rj._left_seen.keys() == scalar_rj._left_seen.keys()
+        for k, v in scalar_rj._left_seen.items():
+            assert batch_rj._left_seen[k] == pytest.approx(v, rel=1e-12)
+        for k, v in scalar_rj._right_seen.items():
+            assert batch_rj._right_seen[k] == pytest.approx(v, rel=1e-12)
+        b = np.concatenate(batch_rj._left_contrib)
+        s = np.concatenate(scalar_rj._left_contrib)
+        np.testing.assert_allclose(b, s, rtol=1e-12, atol=1e-9)
+        snap_b, snap_s = batch_rj.snapshot(), scalar_rj.snapshot()
+        assert snap_b.value == pytest.approx(snap_s.value, rel=1e-12)
+        assert snap_b.ci_high == pytest.approx(snap_s.ci_high, rel=1e-9)
+
+    def test_exhaustion_equivalent(self):
+        batch_rj, scalar_rj = self._make_pair(n_left=150, n_right=400)
+        batch_rj._advance_batch(10_000)
+        self._advance_scalar(scalar_rj, 10_000)
+        assert batch_rj.is_exhausted and scalar_rj.is_exhausted
+        assert batch_rj._join_sum == pytest.approx(
+            scalar_rj._join_sum, rel=1e-12
+        )

@@ -347,3 +347,147 @@ class TestGKQuantiles:
         g.add(np.asarray(values))
         med = g.median()
         assert min(values) <= med <= max(values)
+
+
+# ----------------------------------------------------------------------
+# Vectorized-kernel equivalence: every batch kernel must reproduce its
+# scalar reference bit-for-bit on random inputs (satellite of the
+# vectorization PR; the perf claim lives in bench_p01_sketch_ingest).
+# ----------------------------------------------------------------------
+from repro.sketches.bloom import BloomFilter as _Bloom  # noqa: E402
+from repro.sketches.fm import FlajoletMartin  # noqa: E402
+from repro.sketches.hashing import (  # noqa: E402
+    hash64,
+    hash64_batch,
+    hash64_scalar,
+)
+
+
+def _random_values(rng, dtype, n=200):
+    if dtype == "int":
+        return rng.integers(-(2**62), 2**62, n)
+    if dtype == "float":
+        vals = rng.normal(0, 1e6, n)
+        vals[:3] = [0.0, -0.0, np.inf]
+        return vals
+    if dtype == "bool":
+        return rng.random(n) < 0.5
+    if dtype == "str":
+        lengths = rng.integers(0, 40, n)
+        return np.array(
+            ["x" * int(l) + str(rng.integers(0, 10**9)) for l in lengths]
+        )
+    raise AssertionError(dtype)
+
+
+class TestVectorizedHashEquivalence:
+    @pytest.mark.parametrize("dtype", ["int", "float", "bool", "str"])
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    def test_hash64_matches_scalar_reference(self, dtype, seed):
+        rng = np.random.default_rng(hash((dtype, seed)) % 2**32)
+        values = _random_values(rng, dtype)
+        vectorized = hash64(values, seed=seed)
+        expected = np.array(
+            [hash64_scalar(v.item(), seed=seed) for v in values],
+            dtype=np.uint64,
+        )
+        assert np.array_equal(vectorized, expected)
+
+    @given(hst.text(max_size=64), hst.integers(0, 2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_hash64_string_property(self, text, seed):
+        arr = np.array([text])
+        vec = hash64(arr, seed=seed)[0]
+        # Oracle on the value the array actually stores: numpy "U" dtype
+        # treats trailing NUL codepoints as padding and strips them.
+        assert int(vec) == hash64_scalar(arr[0].item(), seed=seed)
+
+    def test_hash64_batch_rows_match_single_seed_calls(self):
+        rng = np.random.default_rng(7)
+        values = _random_values(rng, "str", 100)
+        seeds = [0, 3, 999, 2**31]
+        batch = hash64_batch(values, seeds)
+        assert batch.shape == (len(seeds), len(values))
+        for i, s in enumerate(seeds):
+            assert np.array_equal(batch[i], hash64(values, seed=s))
+
+    def test_object_arrays_hash_by_string_form(self):
+        # Object columns are stringified (the seed's semantics): 1 and "1"
+        # deliberately collide there, while typed columns keep their own
+        # per-dtype digests.
+        mixed = np.array([1, "1"], dtype=object)
+        h = hash64(mixed, seed=5)
+        assert h[0] == h[1] == np.uint64(hash64_scalar("1", seed=5))
+
+
+class TestVectorizedSketchEquivalence:
+    """Batch ``add`` must leave identical state to one-item-at-a-time."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        rng = np.random.default_rng(77)
+        ids = rng.zipf(1.4, 3_000) % 500
+        return np.array([f"k{i}" for i in ids])
+
+    def _pair(self, factory, stream):
+        batch, scalar = factory(), factory()
+        batch.add(stream)
+        for v in stream:
+            scalar.add(v)
+        return batch, scalar
+
+    def test_countmin(self, stream):
+        batch, scalar = self._pair(
+            lambda: CountMinSketch(epsilon=0.01, delta=0.05, seed=3), stream
+        )
+        assert np.array_equal(batch.counters, scalar.counters)
+        assert batch.total == scalar.total
+        probe = np.unique(stream)[:50]
+        assert np.array_equal(batch.query(probe), scalar.query(probe))
+
+    def test_countsketch(self, stream):
+        batch, scalar = self._pair(
+            lambda: CountSketch(width=128, depth=5, seed=3), stream
+        )
+        assert np.array_equal(batch.counters, scalar.counters)
+
+    def test_bloom(self, stream):
+        batch, scalar = self._pair(
+            lambda: _Bloom(expected_items=2_000, fp_rate=0.01, seed=3), stream
+        )
+        assert np.array_equal(batch.bits, scalar.bits)
+        probe = np.concatenate([np.unique(stream)[:20], np.array(["absent"])])
+        assert np.array_equal(batch.contains(probe), scalar.contains(probe))
+
+    def test_hyperloglog(self, stream):
+        batch, scalar = self._pair(lambda: HyperLogLog(12, seed=3), stream)
+        assert np.array_equal(batch.registers, scalar.registers)
+
+    def test_kmv(self, stream):
+        batch, scalar = self._pair(lambda: KMVSketch(k=64, seed=3), stream)
+        assert np.array_equal(batch.values, scalar.values)
+
+    def test_flajolet_martin(self, stream):
+        batch, scalar = self._pair(
+            lambda: FlajoletMartin(32, seed=3), stream
+        )
+        assert np.array_equal(batch.bitmaps, scalar.bitmaps)
+
+    def test_fm_estimate_matches_scalar_rank_reference(self, stream):
+        fm = FlajoletMartin(32, seed=3)
+        fm.add(stream)
+        mean_r = float(
+            np.mean([fm._lowest_unset(b) for b in fm.bitmaps])
+        )
+        expected = fm.num_bitmaps / 0.77351 * 2.0**mean_r
+        assert fm.estimate() == pytest.approx(expected, rel=1e-12)
+
+    def test_spacesaving_batch_keeps_guarantees(self, stream):
+        # The batch path pre-aggregates with np.unique (weighted
+        # SpaceSaving), so internal state may legitimately differ from the
+        # sequential order — the (estimate, guarantee) contract must not.
+        ss = SpaceSaving(100)
+        ss.add(stream)
+        truth = {k: int(c) for k, c in zip(*np.unique(stream, return_counts=True))}
+        for key, _ in ss.top_k(10):
+            assert ss.guaranteed_count(key) <= truth[key] <= ss.estimate(key)

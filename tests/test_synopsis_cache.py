@@ -1,0 +1,212 @@
+"""Tests for the content-addressed synopsis cache."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Table
+from repro.offline import answer_group_by_sum, build_sample_seek
+from repro.offline.blinkdb import BlinkDBSelector, QueryTemplate
+from repro.storage.synopsis_cache import (
+    SynopsisCache,
+    get_global_cache,
+    set_global_cache,
+)
+
+
+@pytest.fixture
+def fresh_global_cache():
+    """Install a fresh global cache for the test; restore afterwards."""
+    cache = SynopsisCache()
+    set_global_cache(cache)
+    yield cache
+    set_global_cache(None)
+
+
+def grouped_table(n=5_000, groups=40, seed=11, name="t"):
+    rng = np.random.default_rng(seed)
+    return Table(
+        {"group_id": rng.integers(0, groups, n), "value": rng.exponential(3, n)},
+        name=name,
+    )
+
+
+class TestAccounting:
+    def test_miss_then_hit(self):
+        cache = SynopsisCache()
+        t = grouped_table()
+        key = cache.make_key(t, kind="demo", columns=("value",))
+        assert cache.get(key) is None
+        cache.put(key, "synopsis", nbytes=10)
+        assert cache.get(key) == "synopsis"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_get_or_build_builds_once(self):
+        cache = SynopsisCache()
+        t = grouped_table()
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return object()
+
+        first = cache.get_or_build(t, kind="demo", builder=builder, nbytes=8)
+        second = cache.get_or_build(t, kind="demo", builder=builder, nbytes=8)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_key_is_content_addressed(self):
+        cache = SynopsisCache()
+        a = grouped_table(seed=1, name="same")
+        b = grouped_table(seed=2, name="same")  # same name, other content
+        cache.put(cache.make_key(a, kind="demo"), "for-a", nbytes=1)
+        assert cache.get(cache.make_key(b, kind="demo")) is None
+
+    def test_params_order_irrelevant(self):
+        t = grouped_table()
+        k1 = SynopsisCache.make_key(t, "demo", ("c",), {"a": 1, "b": 2})
+        k2 = SynopsisCache.make_key(t, "demo", ("c",), {"b": 2, "a": 1})
+        assert k1 == k2
+
+
+class TestEviction:
+    def _key(self, cache, t, i):
+        return cache.make_key(t, kind="demo", params={"i": i})
+
+    def test_lru_eviction_under_byte_budget(self):
+        cache = SynopsisCache(max_bytes=100)
+        t = grouped_table()
+        for i in range(4):
+            cache.put(self._key(cache, t, i), f"v{i}", nbytes=30)
+        # 4 * 30 > 100: the oldest entry must have been evicted.
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        assert cache.get(self._key(cache, t, 0)) is None
+        assert cache.get(self._key(cache, t, 3)) == "v3"
+        assert cache.current_bytes <= 100
+
+    def test_recently_used_survives(self):
+        cache = SynopsisCache(max_bytes=100)
+        t = grouped_table()
+        for i in range(3):
+            cache.put(self._key(cache, t, i), f"v{i}", nbytes=30)
+        assert cache.get(self._key(cache, t, 0)) == "v0"  # touch entry 0
+        cache.put(self._key(cache, t, 3), "v3", nbytes=30)
+        # Entry 1 (now the least recently used) was evicted, not entry 0.
+        assert cache.get(self._key(cache, t, 0)) == "v0"
+        assert cache.get(self._key(cache, t, 1)) is None
+
+    def test_oversized_entry_never_admitted(self):
+        cache = SynopsisCache(max_bytes=100)
+        t = grouped_table()
+        cache.put(self._key(cache, t, 0), "huge", nbytes=1000)
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+    def test_zero_budget_disables_caching(self):
+        cache = SynopsisCache(max_bytes=0)
+        t = grouped_table()
+        calls = []
+        for _ in range(2):
+            cache.get_or_build(
+                t, kind="demo", builder=lambda: calls.append(1), nbytes=1
+            )
+        assert len(calls) == 2 and cache.stats.hits == 0
+
+
+class TestInvalidation:
+    def test_replace_table_invalidates(self, fresh_global_cache):
+        db = Database()
+        t = grouped_table(name="sales")
+        db.create_table("sales", t)
+        build_sample_seek(db.table("sales"), "value", "group_id", 500, seed=3)
+        assert len(fresh_global_cache) == 1
+        db.replace_table("sales", grouped_table(seed=99, name="sales"))
+        assert len(fresh_global_cache) == 0
+        assert fresh_global_cache.stats.invalidations == 1
+
+    def test_drop_table_invalidates(self, fresh_global_cache):
+        db = Database()
+        db.create_table("sales", grouped_table(name="sales"))
+        build_sample_seek(db.table("sales"), "value", "group_id", 500, seed=3)
+        db.drop_table("sales")
+        assert len(fresh_global_cache) == 0
+
+    def test_stale_entries_unreachable_even_without_invalidation(self):
+        # Content addressing is the correctness story: even if nobody
+        # calls invalidate_table, the replaced table's fingerprint changes
+        # and the old synopsis can never be served for the new content.
+        cache = SynopsisCache()
+        old = grouped_table(seed=1, name="sales")
+        new = grouped_table(seed=2, name="sales")
+        syn = build_sample_seek(old, "value", "group_id", 500, seed=3, cache=cache)
+        key_new = cache.make_key(new, "sample_seek", ("value", "group_id"),
+                                 {"sample_size": 500, "seed": 3})
+        assert cache.get(key_new) is None
+        assert syn is build_sample_seek(
+            old, "value", "group_id", 500, seed=3, cache=cache
+        )
+
+
+class TestIdenticalAnswers:
+    def test_sample_seek_cache_on_vs_off(self):
+        t = grouped_table(n=8_000, groups=60)
+        on, off = SynopsisCache(), SynopsisCache(max_bytes=0)
+        answers = {}
+        for label, cache in (("on", on), ("off", off)):
+            per_run = []
+            for _ in range(2):  # second run hits only with cache on
+                syn = build_sample_seek(
+                    t, "value", "group_id", 800, seed=7, cache=cache
+                )
+                groups, cost = answer_group_by_sum(syn, t)
+                per_run.append([(a.key, a.value, a.method) for a in groups])
+            assert per_run[0] == per_run[1]
+            answers[label] = per_run[0]
+        assert answers["on"] == answers["off"]
+        assert on.stats.hits == 1 and off.stats.hits == 0
+
+    def test_blinkdb_cache_on_vs_off(self):
+        workload = [QueryTemplate("sales", ("group_id",), 5.0)]
+        rows = {}
+        for label, max_bytes in (("on", SynopsisCache().max_bytes), ("off", 0)):
+            db = Database()
+            db.create_table("sales", grouped_table(name="sales"))
+            selector = BlinkDBSelector(
+                db,
+                budget_rows=2_000,
+                rows_per_stratum=20,
+                seed=13,
+                cache=SynopsisCache(max_bytes=max_bytes),
+            )
+            entries, _ = selector.build_for_workload(workload)
+            rows[label] = [
+                (e.table, e.kind, e.sample.table.num_rows,
+                 float(np.sum(e.sample.table["value"])))
+                for e in entries
+            ]
+        assert rows["on"] == rows["off"]
+
+    def test_blinkdb_second_build_hits(self):
+        db = Database()
+        db.create_table("sales", grouped_table(name="sales"))
+        cache = SynopsisCache()
+        workload = [QueryTemplate("sales", ("group_id",), 1.0)]
+        for _ in range(2):
+            selector = BlinkDBSelector(
+                db, budget_rows=2_000, rows_per_stratum=20, seed=13, cache=cache
+            )
+            selector.build_for_workload(workload)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+class TestGlobalCache:
+    def test_global_cache_roundtrip(self):
+        previous = get_global_cache()
+        try:
+            mine = SynopsisCache(max_bytes=123)
+            set_global_cache(mine)
+            assert get_global_cache() is mine
+        finally:
+            set_global_cache(previous)

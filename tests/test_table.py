@@ -146,3 +146,63 @@ class TestConvenience:
     def test_estimated_bytes_object_columns(self):
         t = Table({"s": ["hello"] * 10})
         assert t.estimated_bytes() >= 10 * 24
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = make(50)
+        b = make(50)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_cached_per_instance(self):
+        t = make(50)
+        assert t.fingerprint() is t.fingerprint()
+
+    def test_detects_length_change(self):
+        assert make(50).fingerprint() != make(51).fingerprint()
+
+    def test_detects_content_change(self):
+        base = make(50)
+        cols = base.columns_dict()
+        cols["a"] = cols["a"].copy()
+        cols["a"][0] += 1
+        changed = Table(cols, name="t", block_size=4)
+        assert base.fingerprint() != changed.fingerprint()
+
+    def test_detects_row_permutation(self):
+        cols = make(50).columns_dict()
+        permuted = {k: v[::-1].copy() for k, v in cols.items()}
+        assert (
+            Table(cols, name="t").fingerprint()
+            != Table(permuted, name="t").fingerprint()
+        )
+
+    def test_detects_schema_change(self):
+        t = make(10)
+        renamed = Table(
+            {"z" if k == "a" else k: v for k, v in t.columns_dict().items()},
+            name="t",
+        )
+        retyped = Table(
+            {k: (v.astype(np.float32) if k == "b" else v)
+             for k, v in t.columns_dict().items()},
+            name="t",
+        )
+        assert t.fingerprint() != renamed.fingerprint()
+        assert t.fingerprint() != retyped.fingerprint()
+
+    def test_detects_string_column_change(self):
+        a = Table({"s": ["x", "y", "z"]}, name="t")
+        b = Table({"s": ["x", "y", "w"]}, name="t")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_empty_table(self):
+        assert Table({}).fingerprint() == Table({}).fingerprint()
+
+    def test_large_table_samples_rows(self):
+        # Only ~64 probe rows are hashed, so fingerprinting stays cheap
+        # even for big tables — and endpoints are always probed.
+        big = Table({"a": np.arange(200_000)}, name="t")
+        tweaked_cols = {"a": np.arange(200_000).copy()}
+        tweaked_cols["a"][-1] = -1
+        assert big.fingerprint() != Table(tweaked_cols, name="t").fingerprint()
