@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test test-fast bench bench-smoke audit audit-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Inner-loop subset: skips @slow statistical/trial-loop tests
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
 
 ## Full benchmark suite in parallel workers -> benchmarks/results/BENCH_results.json
 bench:
@@ -13,3 +17,11 @@ bench:
 ## Fast (~30s) subset; fails on >2x regression vs benchmarks/BENCH_baseline.json
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke
+
+## Statistical guarantee audit (full trials) -> audit/AUDIT_report.json
+audit:
+	$(PYTHON) -m repro audit --no-check
+
+## Seconds-fast audit; fails on broken guarantees or baseline regressions
+audit-smoke:
+	$(PYTHON) -m repro audit --smoke

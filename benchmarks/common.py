@@ -61,28 +61,16 @@ def write_report(name: str, lines: Iterable[str]) -> str:
 
 
 def table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:
-    """Fixed-width text table."""
-    widths = [
-        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
-        for i, h in enumerate(headers)
-    ]
-    out = [
-        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
-        "  ".join("-" * w for w in widths),
-    ]
-    for r in rows:
-        out.append("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
-    return out
+    """Fixed-width text table (shared renderer with the audit reports)."""
+    from repro.audit.report import format_table
+
+    return format_table(headers, rows)
 
 
 def _fmt(value) -> str:
-    if isinstance(value, float):
-        if value == 0:
-            return "0"
-        if abs(value) >= 1000 or abs(value) < 0.001:
-            return f"{value:.3g}"
-        return f"{value:.4f}".rstrip("0").rstrip(".")
-    return str(value)
+    from repro.audit.report import format_value
+
+    return format_value(value)
 
 
 def once(benchmark, fn):

@@ -216,10 +216,126 @@ def run_bench(argv: List[str]) -> int:
     return 1 if (real or failed) else 0
 
 
+def run_audit_cli(argv: List[str]) -> int:
+    """``python -m repro audit``: the statistical guarantee audit.
+
+    Replays every registered estimator path for N seeded trials, checks
+    each claimed guarantee against an exact-binomial acceptance band,
+    writes ``audit/AUDIT_report.json``, and (unless ``--no-check``)
+    diffs against the committed baseline. Exit 1 on a broken guarantee
+    or a baseline regression.
+    """
+    from .audit import diff_against_baseline, run_audit, write_report
+    from .audit.report import AUDIT_BASELINE_JSON, AUDIT_REPORT_JSON, format_table
+    from .audit.runner import DEFAULT_SEED
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro audit",
+        description="Audit every estimator's claimed error guarantee",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer trials + smaller data (finishes in seconds)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=int(os.environ.get("REPRO_SEED", DEFAULT_SEED)),
+        help="base seed (default: $REPRO_SEED or %(default)s); the whole "
+        "report is deterministic given the seed",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override light-path trials"
+    )
+    parser.add_argument(
+        "--heavy-trials",
+        type=int,
+        default=None,
+        help="override heavy-path (full-planner) trials",
+    )
+    parser.add_argument(
+        "--paths",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="audit only these paths",
+    )
+    parser.add_argument(
+        "--output", default=AUDIT_REPORT_JSON, help="report JSON destination"
+    )
+    parser.add_argument(
+        "--baseline", default=AUDIT_BASELINE_JSON, help="baseline JSON"
+    )
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="write this run as the new committed baseline",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the baseline regression diff",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_audit(
+        smoke=args.smoke,
+        seed=args.seed,
+        trials=args.trials,
+        heavy_trials=args.heavy_trials,
+        path_names=args.paths.split(",") if args.paths else None,
+        progress=True,
+    )
+    rows = [
+        (
+            p["name"],
+            p["claim"],
+            p["claimed_coverage"] if p["claimed_coverage"] is not None else "-",
+            f"{p['hits']}/{p['effective_trials']}",
+            p["empirical_coverage"] if p["empirical_coverage"] is not None else "-",
+            p["verdict"] + (" (expected)" if p["expected_failure"] else ""),
+            p["mean_relative_error"] if p["mean_relative_error"] is not None else "-",
+        )
+        for p in doc["paths"]
+    ]
+    print()
+    for line in format_table(
+        ["path", "claim", "claimed", "hits", "coverage", "verdict", "mean rel err"],
+        rows,
+    ):
+        print(line)
+    path = write_report(doc, args.output)
+    print(f"\nwrote {path} (seed {doc['seed']}, mode {doc['mode']})")
+    ok = doc["summary"]["all_guarantees_ok"]
+    print(
+        "guarantee audit: "
+        + ("all claims hold" if ok else "BROKEN GUARANTEES")
+        + f" ({doc['summary']['num_pass']} pass, "
+        f"{doc['summary']['num_conservative']} conservative, "
+        f"{doc['summary']['num_expected_failures']} paper-predicted failures, "
+        f"{doc['summary']['num_unexpected_failures']} unexpected failures)"
+    )
+    if args.rebaseline:
+        base = write_report(doc, args.baseline)
+        print(f"rebaselined -> {base}")
+        return 0 if ok else 1
+    if args.no_check:
+        return 0 if ok else 1
+    problems = diff_against_baseline(doc, baseline_path=args.baseline)
+    real = [p for p in problems if not p.startswith("note:")]
+    for p in problems:
+        print(("WARN " if p.startswith("note:") else "REGRESSION ") + p)
+    if not real:
+        print("baseline check: clean")
+    return 0 if ok and not real else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "bench":
         return run_bench(argv[1:])
+    if argv and argv[0] == "audit":
+        return run_audit_cli(argv[1:])
     args = build_parser().parse_args(argv)
     db = make_database(args)
     print(f"tables: {', '.join(db.table_names)}", file=sys.stderr)

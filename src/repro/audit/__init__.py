@@ -1,0 +1,68 @@
+"""Statistical guarantee-audit subsystem.
+
+The paper's thesis is that AQP schemes trade generality, speedup, and
+*a-priori error guarantees* against each other — so a reproduction must
+be able to check, empirically, that the guarantees each estimator claims
+actually hold. This package provides that check:
+
+* :mod:`~repro.audit.acceptance` — shared binomial/CLT acceptance bands,
+  so coverage audits accept/reject with proper statistical tolerances
+  instead of hard-coded thresholds (and the whole test suite can reuse
+  them);
+* :mod:`~repro.audit.oracle` — an exact-answer oracle (memoized) that
+  every approximate path is diffed against;
+* :mod:`~repro.audit.paths` — the registry of audited estimator paths
+  (uniform/stratified/offline samples, Sample+Seek, OLA, ripple join,
+  sketches, histograms, wavelets, and the full engine planners);
+* :mod:`~repro.audit.runner` — repeated-trial coverage audits: N seeded
+  trials per (estimator, query, confidence), hit counts against the
+  claimed coverage, and a verdict from the binomial band;
+* :mod:`~repro.audit.report` — ``audit/AUDIT_report.json`` serialization
+  plus the regression diff against the committed baseline.
+
+Entry points: ``python -m repro audit [--smoke]`` and
+``pytest -m audit``.
+"""
+
+from .acceptance import (
+    binomial_acceptance_band,
+    binomial_cdf,
+    chi2_upper_bound,
+    coverage_lower_bound,
+    coverage_verdict,
+    mc_mean_band,
+    mc_mean_within,
+    within_sigma,
+)
+from .oracle import ExactOracle
+from .paths import AuditContext, AuditPath, TrialResult, build_paths
+from .report import (
+    AUDIT_BASELINE_JSON,
+    AUDIT_REPORT_JSON,
+    diff_against_baseline,
+    load_report,
+    write_report,
+)
+from .runner import run_audit
+
+__all__ = [
+    "AUDIT_BASELINE_JSON",
+    "AUDIT_REPORT_JSON",
+    "AuditContext",
+    "AuditPath",
+    "ExactOracle",
+    "TrialResult",
+    "binomial_acceptance_band",
+    "binomial_cdf",
+    "build_paths",
+    "chi2_upper_bound",
+    "coverage_lower_bound",
+    "coverage_verdict",
+    "diff_against_baseline",
+    "load_report",
+    "mc_mean_band",
+    "mc_mean_within",
+    "run_audit",
+    "within_sigma",
+    "write_report",
+]

@@ -1,0 +1,181 @@
+"""Shared statistical acceptance helpers.
+
+Every "does the guarantee hold?" question in this repo reduces to one of
+three shapes, and each gets a proper tolerance here instead of a
+hard-coded threshold:
+
+* **Coverage counts** — N seeded trials, each a hit (CI contained the
+  truth / the bound held) or a miss. The claimed coverage ``p`` implies
+  ``hits ~ Binomial(N, p)``; we accept iff the observed count falls in
+  the central two-sided acceptance band at level ``alpha``. Because the
+  band is exact-binomial and the trials are seeded, the audit is
+  deterministic and non-flaky by construction.
+* **Monte-Carlo means** — repeated unbiased estimates whose average must
+  sit near the truth. The CLT band ``z_alpha · s/√N`` is the honest
+  tolerance.
+* **Single estimates with a variance** — the estimator's own standard
+  error scaled by a k-sigma factor.
+
+The binomial machinery is exact (log-space PMF summation), so it is valid
+at the small trial counts audits actually use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..core.errorspec import chi2_ppf, normal_ppf
+
+#: Default band level: a 1-in-1000 false-rejection rate per audited path
+#: keeps a ~20-path audit's overall false-alarm probability around 2%.
+DEFAULT_ALPHA = 1e-3
+
+
+def _log_binom_pmf(k: int, n: int, p: float) -> float:
+    if p <= 0.0:
+        return 0.0 if k == 0 else -math.inf
+    if p >= 1.0:
+        return 0.0 if k == n else -math.inf
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log(1.0 - p)
+    )
+
+
+def binomial_cdf(k: int, n: int, p: float) -> float:
+    """Exact ``P(X <= k)`` for ``X ~ Binomial(n, p)``."""
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    total = 0.0
+    for i in range(k + 1):
+        total += math.exp(_log_binom_pmf(i, n, p))
+    return min(total, 1.0)
+
+
+def binomial_acceptance_band(
+    trials: int, p: float, alpha: float = DEFAULT_ALPHA
+) -> Tuple[int, int]:
+    """Central two-sided acceptance band for ``Binomial(trials, p)``.
+
+    Returns ``(k_lo, k_hi)`` such that ``P(X < k_lo) <= alpha/2`` and
+    ``P(X > k_hi) <= alpha/2``; a true-to-claim estimator's hit count
+    lands inside with probability at least ``1 - alpha``. Degenerate
+    claims (``p`` of 0 or 1) get the exact one-point band.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"claimed coverage must be in [0, 1], got {p}")
+    if p == 0.0:
+        return (0, 0)
+    if p == 1.0:
+        return (trials, trials)
+    half = alpha / 2.0
+    k_lo = 0
+    acc = 0.0
+    for k in range(trials + 1):
+        acc += math.exp(_log_binom_pmf(k, trials, p))
+        if acc > half:
+            k_lo = k
+            break
+    k_hi = trials
+    acc = 0.0
+    for k in range(trials, -1, -1):
+        acc += math.exp(_log_binom_pmf(k, trials, p))
+        if acc > half:
+            k_hi = k
+            break
+    return (k_lo, k_hi)
+
+
+def coverage_lower_bound(
+    trials: int, p: float, alpha: float = DEFAULT_ALPHA
+) -> int:
+    """One-sided version: the smallest hit count consistent with claimed
+    coverage ``p`` (use when only under-coverage breaks the contract)."""
+    if p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return trials
+    acc = 0.0
+    for k in range(trials + 1):
+        acc += math.exp(_log_binom_pmf(k, trials, p))
+        if acc > alpha:
+            return k
+    return trials
+
+
+def coverage_verdict(
+    hits: int, trials: int, p: float, alpha: float = DEFAULT_ALPHA
+) -> str:
+    """Classify an observed coverage count against its claim.
+
+    * ``"pass"`` — inside the two-sided band: empirically consistent.
+    * ``"fail_under"`` — below the band: the guarantee is broken.
+    * ``"conservative"`` — above the band: intervals are wider than
+      claimed. Not a broken contract, but flagged because over-wide CIs
+      waste the speedup the paper says guarantees must be traded against.
+    """
+    k_lo, k_hi = binomial_acceptance_band(trials, p, alpha)
+    if hits < k_lo:
+        return "fail_under"
+    if hits > k_hi:
+        return "conservative"
+    return "pass"
+
+
+# ----------------------------------------------------------------------
+# CLT bands for Monte-Carlo means and single estimates
+# ----------------------------------------------------------------------
+
+def mc_mean_band(
+    sample_std: float, trials: int, alpha: float = DEFAULT_ALPHA
+) -> float:
+    """Half-width of the CLT acceptance band for a Monte-Carlo mean of
+    ``trials`` unbiased replicates with spread ``sample_std``."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    z = normal_ppf(1.0 - alpha / 2.0)
+    return z * sample_std / math.sqrt(trials)
+
+
+def mc_mean_within(
+    values: Sequence[float], truth: float, alpha: float = DEFAULT_ALPHA
+) -> bool:
+    """Is the mean of unbiased replicates consistent with ``truth``?
+
+    The tolerance is the replicates' own CLT band, so tightening an
+    estimator tightens the test with it.
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two replicates")
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    band = mc_mean_band(math.sqrt(var), n, alpha)
+    return abs(mean - truth) <= band
+
+
+def within_sigma(estimate, truth: float, k: float = 4.0) -> bool:
+    """Does ``truth`` sit within ``k`` standard errors of an
+    :class:`~repro.estimators.closed_form.Estimate`?
+
+    ``k`` defaults to 4 (one-shot test tolerance: false-failure
+    probability ~6e-5 under normality).
+    """
+    se = estimate.std_error
+    if not math.isfinite(se) or se == 0.0:
+        return estimate.value == truth
+    return abs(estimate.value - truth) <= k * se
+
+
+def chi2_upper_bound(df: int, alpha: float = DEFAULT_ALPHA) -> float:
+    """Upper acceptance threshold for a chi-squared statistic with ``df``
+    degrees of freedom (uniformity tests and the like)."""
+    return chi2_ppf(1.0 - alpha, df)

@@ -1,0 +1,137 @@
+"""The exact oracle: ground truth for every audited path.
+
+Engine-level paths are diffed against the engine's own exact executor
+(same SQL text, no error clause), so the oracle exercises the real
+parse/bind/optimize/execute pipeline rather than a parallel
+reimplementation. Synopsis-level paths (sketches, histograms, wavelets)
+get direct columnar ground truths — distinct counts, frequencies, range
+aggregates — computed once and memoized, since a coverage audit replays
+the same query across many seeded trials.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.result import QueryResult
+from ..engine.database import Database
+
+
+class ExactOracle:
+    """Memoizing exact-answer provider for one database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._sql_cache: Dict[str, QueryResult] = {}
+        self._column_cache: Dict[Tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Engine-level ground truth
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> QueryResult:
+        """Exact result of ``sql`` through the full engine pipeline."""
+        cached = self._sql_cache.get(sql)
+        if cached is None:
+            cached = self.database.sql(sql)
+            assert not cached.is_approximate, (
+                "oracle queries must not carry an ERROR clause"
+            )
+            self._sql_cache[sql] = cached
+        return cached
+
+    def scalar(self, sql: str) -> float:
+        """Exact scalar answer of a 1x1 aggregate query."""
+        return self.query(sql).scalar()
+
+    def groups(self, sql: str, key: str, value: str) -> Dict[object, float]:
+        """Exact ``{group key: aggregate}`` mapping for a grouped query."""
+        result = self.query(sql)
+        keys = result.table[key]
+        values = np.asarray(result.table[value], dtype=np.float64)
+        return {
+            (k.item() if hasattr(k, "item") else k): float(v)
+            for k, v in zip(keys, values)
+        }
+
+    # ------------------------------------------------------------------
+    # Columnar ground truth for synopsis paths
+    # ------------------------------------------------------------------
+    def _column(self, table: str, column: str) -> np.ndarray:
+        return self.database.table(table)[column]
+
+    def distinct_count(self, table: str, column: str) -> int:
+        key = ("distinct", table, column)
+        if key not in self._column_cache:
+            self._column_cache[key] = int(
+                len(np.unique(self._column(table, column)))
+            )
+        return self._column_cache[key]  # type: ignore[return-value]
+
+    def frequencies(self, table: str, column: str) -> Dict[object, int]:
+        key = ("freq", table, column)
+        if key not in self._column_cache:
+            uniq, counts = np.unique(
+                self._column(table, column), return_counts=True
+            )
+            self._column_cache[key] = {
+                (u.item() if hasattr(u, "item") else u): int(c)
+                for u, c in zip(uniq, counts)
+            }
+        return self._column_cache[key]  # type: ignore[return-value]
+
+    def range_count(
+        self,
+        table: str,
+        column: str,
+        low: Optional[float],
+        high: Optional[float],
+    ) -> float:
+        values = np.asarray(self._column(table, column), dtype=np.float64)
+        mask = np.ones(len(values), dtype=bool)
+        if low is not None:
+            mask &= values >= low
+        if high is not None:
+            mask &= values <= high
+        return float(np.count_nonzero(mask))
+
+    def range_sum(
+        self,
+        table: str,
+        column: str,
+        low: Optional[float],
+        high: Optional[float],
+    ) -> float:
+        values = np.asarray(self._column(table, column), dtype=np.float64)
+        mask = np.ones(len(values), dtype=bool)
+        if low is not None:
+            mask &= values >= low
+        if high is not None:
+            mask &= values <= high
+        return float(values[mask].sum())
+
+    def column_sum(self, table: str, column: str) -> float:
+        key = ("sum", table, column)
+        if key not in self._column_cache:
+            self._column_cache[key] = float(
+                np.asarray(self._column(table, column), dtype=np.float64).sum()
+            )
+        return self._column_cache[key]  # type: ignore[return-value]
+
+    def group_sums(
+        self, table: str, group_column: str, value_column: str
+    ) -> Dict[object, float]:
+        key = ("group_sums", table, group_column, value_column)
+        if key not in self._column_cache:
+            keys = self._column(table, group_column)
+            values = np.asarray(
+                self._column(table, value_column), dtype=np.float64
+            )
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            sums = np.bincount(inverse, weights=values, minlength=len(uniq))
+            self._column_cache[key] = {
+                (u.item() if hasattr(u, "item") else u): float(s)
+                for u, s in zip(uniq, sums)
+            }
+        return self._column_cache[key]  # type: ignore[return-value]

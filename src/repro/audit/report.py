@@ -1,0 +1,132 @@
+"""Audit report serialization and baseline regression diff.
+
+The audit writes ``audit/AUDIT_report.json``. Everything statistical in
+the document is a pure function of the seed, so two runs with the same
+``REPRO_SEED`` are byte-identical except for the ``timing`` key — which
+is exactly what makes the committed ``audit/AUDIT_baseline.json`` a
+meaningful regression anchor: any diff in the statistical keys is a
+behavior change, never noise.
+
+This module also hosts the fixed-width text-table formatter shared with
+``benchmarks/common.py`` so bench reports and audit reports render the
+same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+AUDIT_DIR = os.path.join(_REPO_ROOT, "audit")
+AUDIT_REPORT_JSON = os.path.join(AUDIT_DIR, "AUDIT_report.json")
+AUDIT_BASELINE_JSON = os.path.join(AUDIT_DIR, "AUDIT_baseline.json")
+
+
+# ----------------------------------------------------------------------
+# Text-table rendering (shared with benchmarks/common.py)
+# ----------------------------------------------------------------------
+
+def format_value(value) -> str:
+    """Compact human formatting for table cells."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:
+    """Fixed-width text table (header, rule, one line per row)."""
+    widths = [
+        max(len(str(h)), *(len(format_value(r[i])) for r in rows))
+        if rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    out = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        out.append(
+            "  ".join(format_value(v).ljust(w) for v, w in zip(r, widths))
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Report I/O
+# ----------------------------------------------------------------------
+
+def write_report(doc: Dict[str, object], path: str = AUDIT_REPORT_JSON) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# Baseline regression diff
+# ----------------------------------------------------------------------
+
+def diff_against_baseline(
+    doc: Dict[str, object],
+    baseline_path: str = AUDIT_BASELINE_JSON,
+) -> List[str]:
+    """Regressions of ``doc`` relative to the committed baseline.
+
+    Returns human-readable problem strings; entries prefixed ``note:``
+    are informational (print, don't fail). An empty list is a clean run.
+
+    What counts as a regression:
+
+    * a path that held its guarantee in the baseline and breaks it now;
+    * a path present in the baseline but missing from this run (audit
+      coverage silently shrank);
+    * an expected-failure path that *stopped* failing (either the
+      implementation quietly changed or the audit lost its power) —
+      informational, because it can also mean the estimator was fixed.
+    """
+    if not os.path.exists(baseline_path):
+        return [f"note: no baseline at {baseline_path}; skipping comparison"]
+    baseline = load_report(baseline_path)
+    if baseline.get("mode") != doc.get("mode"):
+        return [
+            "note: baseline mode "
+            f"{baseline.get('mode')!r} != run mode {doc.get('mode')!r}; "
+            "skipping comparison"
+        ]
+    old_by_name = {p["name"]: p for p in baseline.get("paths", [])}
+    new_by_name = {p["name"]: p for p in doc.get("paths", [])}
+    problems: List[str] = []
+    for name, old in sorted(old_by_name.items()):
+        new = new_by_name.get(name)
+        if new is None:
+            problems.append(f"{name}: audited in baseline but missing now")
+            continue
+        if old.get("guarantee_ok") and not new.get("guarantee_ok"):
+            problems.append(
+                f"{name}: guarantee held in baseline "
+                f"({old.get('verdict')}) but now {new.get('verdict')} "
+                f"(coverage {new.get('empirical_coverage')} vs claimed "
+                f"{new.get('claimed_coverage')})"
+            )
+        if old.get("expected_failure") and old.get("verdict") == "fail_under":
+            if new.get("verdict") != "fail_under":
+                problems.append(
+                    f"note: {name}: paper-predicted failure no longer "
+                    f"reproduces (now {new.get('verdict')})"
+                )
+    return problems

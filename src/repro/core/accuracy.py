@@ -74,13 +74,18 @@ class GuaranteeReport:
     def holds(self) -> bool:
         """Is the empirical violation rate consistent with the spec?
 
-        Uses a one-sided binomial tolerance: accept if the observed rate
-        does not exceed the allowed failure probability by more than two
-        standard errors (so small trial counts do not flag noise).
+        Accepts iff the number of non-violating trials reaches the exact
+        one-sided binomial acceptance bound for the claimed confidence
+        (see :func:`repro.audit.acceptance.coverage_lower_bound`), so
+        small trial counts get a statistically proper tolerance instead
+        of a heuristic slack.
         """
-        allowed = self.spec.failure_probability
-        tolerance = 2.0 * math.sqrt(allowed * (1 - allowed) / max(self.trials, 1))
-        return self.violation_rate <= allowed + tolerance
+        from ..audit.acceptance import coverage_lower_bound
+
+        if not self.trials:
+            return True
+        hits = self.trials - self.violations
+        return hits >= coverage_lower_bound(self.trials, self.spec.confidence)
 
     def max_observed_error(self) -> float:
         finite = [

@@ -12,6 +12,7 @@ Two result types are returned to users:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -67,6 +68,10 @@ class CellEstimate:
         if self.value == 0:
             return float("inf")
         return self.half_width / abs(self.value)
+
+    def covers(self, truth: float) -> bool:
+        """Does the reported interval contain the exact answer?"""
+        return self.ci_low <= truth <= self.ci_high
 
 
 @dataclass
@@ -135,6 +140,17 @@ class ApproximateResult:
         for _, _, cell in self.iter_estimates():
             worst = max(worst, cell.relative_half_width)
         return worst
+
+    def mean_relative_half_width(self) -> float:
+        """Average reported relative CI half-width (audit diagnostics)."""
+        widths = [
+            cell.relative_half_width
+            for _, _, cell in self.iter_estimates()
+            if math.isfinite(cell.relative_half_width)
+        ]
+        if not widths:
+            return math.inf
+        return sum(widths) / len(widths)
 
     def to_pylist(self) -> List[Dict[str, object]]:
         return self.table.to_pylist()

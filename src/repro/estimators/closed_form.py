@@ -64,6 +64,11 @@ class Estimate:
         """Would this estimate's CI meet the error spec?"""
         return self.relative_half_width(spec.confidence) <= spec.relative_error
 
+    def covers(self, truth: float, confidence: float = 0.95) -> bool:
+        """Does the CI at ``confidence`` contain the exact answer?"""
+        lo, hi = self.ci(confidence)
+        return lo <= truth <= hi
+
 
 # ----------------------------------------------------------------------
 # Bernoulli / Poisson sampling estimators

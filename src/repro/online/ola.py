@@ -38,6 +38,12 @@ class OLASnapshot:
             return math.inf
         return (self.ci_high - self.ci_low) / 2.0 / abs(self.value)
 
+    def covers(self, truth: float) -> bool:
+        """Does the running interval contain the exact answer? Only a
+        valid coverage statement at a *fixed* stopping time (see module
+        docstring on peeking)."""
+        return self.ci_low <= truth <= self.ci_high
+
 
 class OnlineAggregator:
     """Progressive SUM/AVG/COUNT over a randomly permuted table.

@@ -40,6 +40,10 @@ class RippleSnapshot:
             return math.inf
         return (self.ci_high - self.ci_low) / 2.0 / abs(self.value)
 
+    def covers(self, truth: float) -> bool:
+        """Does the interval contain the exact join aggregate?"""
+        return self.ci_low <= truth <= self.ci_high
+
 
 class RippleJoin:
     """Online SUM(left_value · right_value-ish) over an equi-join.

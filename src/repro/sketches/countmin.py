@@ -96,6 +96,12 @@ class CountMinSketch:
         """Additive error bound ε·N holding with probability 1-δ."""
         return self.epsilon * self.total
 
+    @property
+    def failure_probability(self) -> float:
+        """δ: probability a point query exceeds :attr:`error_bound` —
+        the claimed coverage audited by ``python -m repro audit``."""
+        return self.delta
+
     def memory_bytes(self) -> int:
         return int(self.counters.nbytes)
 

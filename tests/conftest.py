@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,10 +11,53 @@ from repro import Database
 from repro.engine.table import Table
 from repro.workloads import generate_ssb, generate_tpch
 
+#: default seed threaded through every statistical fixture; override with
+#: ``pytest --repro-seed N`` or ``REPRO_SEED=N`` to replay a failure or
+#: probe seed-sensitivity of the statistical tolerances.
+DEFAULT_REPRO_SEED = 12345
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        type=int,
+        default=None,
+        help="base seed for statistical fixtures "
+        "(default: $REPRO_SEED or %d)" % DEFAULT_REPRO_SEED,
+    )
+
+
+def _resolve_seed(config) -> int:
+    opt = config.getoption("--repro-seed")
+    if opt is not None:
+        return opt
+    return int(os.environ.get("REPRO_SEED", DEFAULT_REPRO_SEED))
+
+
+def pytest_report_header(config):
+    return f"repro-seed: {_resolve_seed(config)}"
+
+
+def pytest_runtest_makereport(item, call):
+    """Print the seed alongside any failure so it can be replayed."""
+    if call.when == "call" and call.excinfo is not None:
+        seed = _resolve_seed(item.config)
+        item.add_report_section(
+            "call",
+            "repro-seed",
+            f"re-run with: pytest --repro-seed {seed} {item.nodeid}",
+        )
+
 
 @pytest.fixture
-def rng():
-    return np.random.default_rng(12345)
+def repro_seed(request) -> int:
+    """The session's base statistical seed (see ``--repro-seed``)."""
+    return _resolve_seed(request.config)
+
+
+@pytest.fixture
+def rng(repro_seed):
+    return np.random.default_rng(repro_seed)
 
 
 @pytest.fixture

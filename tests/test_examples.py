@@ -38,6 +38,7 @@ class TestExamples:
         assert "coverage" in out
         assert "drift=1.00" in out
 
+    @pytest.mark.slow
     def test_telemetry_sketches(self, capsys, monkeypatch):
         mod = load("telemetry_sketches")
         monkeypatch.setattr(mod, "EVENTS", 100_000)
@@ -47,6 +48,7 @@ class TestExamples:
         assert "distinct users" in out
         assert "sampling fails" in out
 
+    @pytest.mark.slow
     def test_progressive_results(self, capsys):
         mod = load("progressive_results")
         mod.main()

@@ -47,11 +47,17 @@ def db():
 
 comparators = st.sampled_from(["<", "<=", ">", ">=", "=", "<>"])
 columns = st.sampled_from(["a", "b", "v", "w"])
-aggs = st.sampled_from(["SUM(v)", "COUNT(*)", "AVG(v)", "SUM(v * w)", "MIN(w)", "MAX(a)"])
+#: agg templates over fact columns; formatted with qualified names so the
+#: same pool serves both single-table and join queries
+AGG_TEMPLATES = st.sampled_from(
+    ["SUM({v})", "COUNT(*)", "AVG({v})", "SUM({v} * {w})", "MIN({w})", "MAX({a})"]
+)
+#: fact-side GROUP BY column sets (empty = plain aggregate)
+GROUP_SETS = st.sampled_from([(), ("b",), ("a",), ("a", "b"), ("b", "a")])
 
 
 @st.composite
-def predicates(draw):
+def predicates(draw, qualify):
     parts = []
     for _ in range(draw(st.integers(1, 3))):
         col = draw(columns)
@@ -60,31 +66,37 @@ def predicates(draw):
             value = draw(st.integers(0, 50))
         else:
             value = round(draw(st.floats(0, 30)), 3)
-        parts.append(f"{col} {op} {value}")
+        parts.append(f"{qualify(col)} {op} {value}")
     joiner = draw(st.sampled_from([" AND ", " OR "]))
     return joiner.join(parts)
 
 
 @st.composite
 def queries(draw):
-    agg_list = draw(st.lists(aggs, min_size=1, max_size=3, unique=True))
-    select = ", ".join(f"{a} AS c{i}" for i, a in enumerate(agg_list))
-    group = draw(st.sampled_from([None, "b", "a"]))
+    """Aggregates over ``f``, optionally joined to ``d``, with 0-3 GROUP BY
+    columns drawn from both sides of the join and 0-3 WHERE conjuncts."""
     join = draw(st.booleans())
-    sql = f"SELECT {'f.' + group + ' AS g, ' if group and join else (group + ' AS g, ' if group else '')}{select} FROM f"
+    qualify = (lambda c: f"f.{c}") if join else (lambda c: c)
+    templates = draw(st.lists(AGG_TEMPLATES, min_size=1, max_size=3, unique=True))
+    agg_list = [
+        t.format(v=qualify("v"), w=qualify("w"), a=qualify("a")) for t in templates
+    ]
+    group_cols = [qualify(c) for c in draw(GROUP_SETS)]
+    if join and draw(st.booleans()):
+        # dimension-side grouping exercises join-then-group plans
+        group_cols.append("d.tag")
+    select = ", ".join(
+        [f"{g} AS g{i}" for i, g in enumerate(group_cols)]
+        + [f"{a} AS c{i}" for i, a in enumerate(agg_list)]
+    )
+    sql = f"SELECT {select} FROM f"
     if join:
-        sql = sql.replace(" FROM f", " FROM f JOIN d ON f.b = d.k")
-        sql = sql.replace("SUM(v)", "SUM(f.v)").replace("AVG(v)", "AVG(f.v)")
-        sql = sql.replace("SUM(v * w)", "SUM(f.v * f.w)")
-        sql = sql.replace("MIN(w)", "MIN(f.w)").replace("MAX(a)", "MAX(f.a)")
-    where = draw(st.one_of(st.none(), predicates()))
+        sql += " JOIN d ON f.b = d.k"
+    where = draw(st.one_of(st.none(), predicates(qualify=qualify)))
     if where is not None:
-        if join:
-            for col in ("a", "b", "v", "w"):
-                where = where.replace(f"{col} ", f"f.{col} ")
         sql += f" WHERE {where}"
-    if group:
-        sql += f" GROUP BY {'f.' + group if join else group}"
+    if group_cols:
+        sql += " GROUP BY " + ", ".join(group_cols)
     return sql
 
 
@@ -113,6 +125,7 @@ def approx_equal_rows(a, b):
     return True
 
 
+@pytest.mark.slow
 class TestQueryFuzz:
     @given(queries())
     @settings(max_examples=60, deadline=None)

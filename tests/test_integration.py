@@ -31,6 +31,7 @@ def exact_lookup(db, sql, key_cols, agg_cols):
     return out
 
 
+@pytest.mark.slow
 class TestTPCHApproximation:
     def test_every_query_runs_approximately(self, big_tpch):
         for name, sql in TPCH_LITE_QUERIES.items():

@@ -147,6 +147,8 @@ class TestCountMin:
 
 
 class TestCountSketch:
+    @pytest.mark.slow
+    @pytest.mark.statistical
     def test_unbiased_heavy_item(self, zipf_stream):
         ests = []
         truth = int(np.sum(zipf_stream == 1))
@@ -420,6 +422,7 @@ class TestVectorizedHashEquivalence:
         assert h[0] == h[1] == np.uint64(hash64_scalar("1", seed=5))
 
 
+@pytest.mark.slow
 class TestVectorizedSketchEquivalence:
     """Batch ``add`` must leave identical state to one-item-at-a-time."""
 
