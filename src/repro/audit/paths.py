@@ -35,7 +35,11 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..core.errorspec import ErrorSpec
-from ..core.exceptions import InfeasiblePlanError, UnsupportedQueryError
+from ..core.exceptions import (
+    InfeasiblePlanError,
+    QueryRefused,
+    UnsupportedQueryError,
+)
 from ..core.result import ApproximateResult
 from ..engine.database import Database
 from ..engine.table import Table
@@ -352,6 +356,64 @@ def _sample_seek(ctx: AuditContext, seed: int) -> TrialResult:
 
 
 # ----------------------------------------------------------------------
+# Resilience paths (degraded answers must stay honest)
+# ----------------------------------------------------------------------
+
+def _degraded_stale_widened(ctx: AuditContext, seed: int) -> TrialResult:
+    """Audit the degradation ladder's stale-synopsis rung.
+
+    Per trial: a uniform sample is built from the first 80% of the
+    table's rows, then the table "grows" to its full size (staleness
+    0.25 — past the catalog's freshness threshold). Forcing
+    ``technique="offline_sample"`` makes the requested rung refuse
+    (no *fresh* covering sample), so the ladder serves from the stale
+    rung, widening the CI by ``half·(1+s) + s·|value|``. The widened
+    interval must still cover the *current* exact answer at the claimed
+    rate, even though the estimator only ever saw the stale prefix —
+    this is the "never claim a guarantee a degraded answer cannot
+    honor" invariant, audited against the oracle.
+    """
+    from ..resilience.ladder import ResilientEngine
+
+    table = ctx.exponential
+    values = np.asarray(table["value"], dtype=np.float64)
+    truth = float(values.sum())
+    db = Database()
+    db.create_table("events", {"value": values})
+    prefix = int(table.num_rows * 0.8)
+    prefix_table = Table({"value": values[:prefix]}, name="events")
+    sample = srs_sample(prefix_table, 1500, _rng(seed))
+    catalog = SynopsisCatalog(db)
+    catalog.add_sample(
+        SampleEntry(
+            table="events",
+            sample=sample,
+            kind="uniform",
+            built_at_rows=prefix,
+        )
+    )
+    engine = ResilientEngine(db, warn_on_degrade=False)
+    spec = ErrorSpec(relative_error=0.10, confidence=0.95)
+    try:
+        result = engine.sql(
+            "SELECT SUM(value) AS s FROM events",
+            spec=spec,
+            seed=seed,
+            technique="offline_sample",
+        )
+    except QueryRefused:
+        return TrialResult(math.nan, math.nan, hit=False, refused=True)
+    if not getattr(result, "is_degraded", False):
+        # Served fresh: the staleness setup failed; count as a refusal
+        # so the path cannot pass by accident.
+        return TrialResult(math.nan, math.nan, hit=False, refused=True)
+    cell = result.estimate("s", 0)
+    return TrialResult(
+        cell.value, truth, cell.covers(truth), cell.ci_low, cell.ci_high
+    )
+
+
+# ----------------------------------------------------------------------
 # Online paths
 # ----------------------------------------------------------------------
 
@@ -649,6 +711,20 @@ def build_paths() -> List[AuditPath]:
                 "biased sample + exact seek for small groups)"
             ),
             run=_sample_seek,
+            heavy=True,
+        ),
+        AuditPath(
+            name="degraded_stale_widened",
+            family="resilience",
+            claim="ci",
+            claimed_coverage=0.95,
+            description=(
+                "Degradation ladder stale-synopsis rung: a sample built "
+                "at 80% of the table answers the grown table through "
+                "ResilientEngine; the staleness-widened CI must still "
+                "cover the current exact answer"
+            ),
+            run=_degraded_stale_widened,
             heavy=True,
         ),
         AuditPath(

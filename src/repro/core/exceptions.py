@@ -63,3 +63,80 @@ class SynopsisError(ReproError):
 
 class MergeError(SynopsisError):
     """Two synopses with incompatible parameters were merged."""
+
+
+# ----------------------------------------------------------------------
+# Resilience layer (see repro.resilience and DESIGN.md §2.10)
+# ----------------------------------------------------------------------
+
+class DeadlineExceeded(ReproError):
+    """A cooperative deadline checkpoint fired.
+
+    Raised at block/operator/batch boundaries by code that was handed a
+    :class:`repro.resilience.deadline.Deadline`, never asynchronously.
+    ``site`` names the checkpoint that fired (for provenance records).
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class BudgetExhausted(ReproError):
+    """A :class:`repro.resilience.deadline.ResourceBudget` ran out.
+
+    Unlike :class:`DeadlineExceeded` (wall-clock), this is a resource
+    contract: rows/blocks touched went past what the caller was willing
+    to pay for this query.
+    """
+
+    def __init__(self, message: str, resource: str = "") -> None:
+        super().__init__(message)
+        self.resource = resource
+
+
+class SynopsisUnavailable(SynopsisError):
+    """A required synopsis is missing, mid-rebuild, corrupted, or its
+    builder's circuit breaker is open.
+
+    The degradation ladder treats this as "skip to the next rung";
+    callers outside the ladder should fall back to exact execution.
+    """
+
+
+class DegradedAnswer(ReproError, UserWarning):
+    """Warning category: an answer was served from a degraded rung.
+
+    Doubles as a ReproError subclass so ``except ReproError`` filters and
+    ``warnings.filterwarnings`` categories both work. Emitted (via
+    ``warnings.warn``) whenever the ladder returns an answer that cannot
+    honor the originally requested guarantee — widened error bars, a
+    partial online snapshot, or an exact answer with no a-priori bound.
+    """
+
+
+class QueryRefused(ReproError):
+    """The typed refusal at the bottom of the degradation ladder.
+
+    Every rung failed (or the deadline left no room to try them); the
+    ``provenance`` list records each attempted rung and why it failed,
+    so a refusal is still a *useful* terminal answer.
+    """
+
+    def __init__(self, message: str, provenance=None) -> None:
+        super().__init__(message)
+        #: list of provenance-step dicts (see repro.resilience.ladder)
+        self.provenance = list(provenance or [])
+
+
+class InjectedFault(ReproError):
+    """An error deliberately raised by the fault-injection harness.
+
+    Only :mod:`repro.resilience.faults` raises this; production code
+    paths treat it like any other build/IO failure. Chaos tests assert
+    it never escapes the ladder un-translated.
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site

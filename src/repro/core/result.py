@@ -30,10 +30,18 @@ class QueryResult:
     table: Table
     stats: ExecutionStats
     plan_text: str = ""
+    #: degradation-ladder steps taken to produce this answer (see
+    #: repro.resilience.ladder); empty when served on the direct path
+    provenance: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def is_approximate(self) -> bool:
         return False
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when the degradation ladder fell past the requested rung."""
+        return any(step.get("degraded") for step in self.provenance)
 
     def column(self, name: str) -> np.ndarray:
         return self.table[name]
@@ -97,10 +105,18 @@ class ApproximateResult:
     #: free-form planner diagnostics (sampling rates, pilot info, ...)
     diagnostics: Dict[str, object] = field(default_factory=dict)
     plan_text: str = ""
+    #: degradation-ladder steps taken to produce this answer (see
+    #: repro.resilience.ladder); empty when served on the direct path
+    provenance: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def is_approximate(self) -> bool:
         return True
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when the degradation ladder fell past the requested rung."""
+        return any(step.get("degraded") for step in self.provenance)
 
     @property
     def speedup(self) -> float:

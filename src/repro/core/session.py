@@ -40,6 +40,8 @@ class AQPEngine:
         spec: Optional[ErrorSpec] = None,
         technique: Optional[str] = None,
         pilot_rate: float = 0.01,
+        deadline=None,
+        budget=None,
     ):
         """Run a SQL string, exactly or approximately.
 
@@ -57,29 +59,39 @@ class AQPEngine:
             letting the advisor choose.
         pilot_rate:
             Sampling rate for pilot (stage-1) queries of online planners.
+        deadline / budget:
+            Optional :class:`~repro.resilience.deadline.Deadline` /
+            :class:`~repro.resilience.deadline.ResourceBudget` bounding
+            this query cooperatively. A blown deadline raises
+            ``DeadlineExceeded``; for graceful degradation instead, use
+            :class:`~repro.resilience.ladder.ResilientEngine`.
         """
-        bound = bind_sql(query, self.database)
-        if spec is None and bound.error_spec is not None:
-            spec = ErrorSpec(
-                relative_error=bound.error_spec.relative_error,
-                confidence=bound.error_spec.confidence,
-            )
-        if spec is None and technique in (None, "exact"):
-            return self.execute_exact(bound, seed=seed)
-        if spec is None:
-            raise UnsupportedQueryError(
-                "an error specification is required for approximate execution"
-            )
-        from .advisor import Advisor
+        from ..resilience.deadline import deadline_scope
 
-        advisor = Advisor(self.database)
-        return advisor.run(
-            bound,
-            spec,
-            seed=seed,
-            force_technique=technique,
-            pilot_rate=pilot_rate,
-        )
+        with deadline_scope(deadline, budget):
+            bound = bind_sql(query, self.database)
+            if spec is None and bound.error_spec is not None:
+                spec = ErrorSpec(
+                    relative_error=bound.error_spec.relative_error,
+                    confidence=bound.error_spec.confidence,
+                )
+            if spec is None and technique in (None, "exact"):
+                return self.execute_exact(bound, seed=seed)
+            if spec is None:
+                raise UnsupportedQueryError(
+                    "an error specification is required for approximate "
+                    "execution"
+                )
+            from .advisor import Advisor
+
+            advisor = Advisor(self.database)
+            return advisor.run(
+                bound,
+                spec,
+                seed=seed,
+                force_technique=technique,
+                pilot_rate=pilot_rate,
+            )
 
     # ------------------------------------------------------------------
     def execute_exact(

@@ -119,14 +119,31 @@ class Database:
     # Execution
     # ------------------------------------------------------------------
     def execute(
-        self, plan: PlanNode, seed: Optional[int] = None, optimize: bool = True
+        self,
+        plan: PlanNode,
+        seed: Optional[int] = None,
+        optimize: bool = True,
+        deadline=None,
+        budget=None,
     ) -> Tuple[Table, ExecutionStats]:
-        """Optimize (optionally) and run a logical plan."""
+        """Optimize (optionally) and run a logical plan.
+
+        ``deadline``/``budget`` bound the execution cooperatively; when
+        omitted, the ambient :func:`repro.resilience.deadline_scope` (if
+        any) applies, so serving-layer limits reach every plan run on
+        this query's behalf.
+        """
         if optimize:
             from .optimizer import optimize_plan
 
             plan = optimize_plan(plan, self)
-        executor = Executor(self, seed=seed, cost_params=self.cost_params)
+        executor = Executor(
+            self,
+            seed=seed,
+            cost_params=self.cost_params,
+            deadline=deadline,
+            budget=budget,
+        )
         return executor.execute(plan)
 
     def sql(

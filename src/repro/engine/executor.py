@@ -97,13 +97,28 @@ class ExecutionStats:
 
 
 class Executor:
-    """Executes logical plans against a database catalog."""
+    """Executes logical plans against a database catalog.
+
+    Cooperative interruption: when a
+    :class:`~repro.resilience.deadline.Deadline` or
+    :class:`~repro.resilience.deadline.ResourceBudget` is attached —
+    explicitly or through the ambient
+    :func:`~repro.resilience.deadline.deadline_scope` — the executor
+    checkpoints at every operator boundary and charges every scan, so a
+    runaway plan raises ``DeadlineExceeded``/``BudgetExhausted`` at the
+    next block boundary instead of running unbounded.
+    """
 
     def __init__(self, database, seed: Optional[int] = None,
-                 cost_params: CostParameters = DEFAULT_COST) -> None:
+                 cost_params: CostParameters = DEFAULT_COST,
+                 deadline=None, budget=None) -> None:
+        from ..resilience.deadline import resolve_budget, resolve_deadline
+
         self.database = database
         self.rng = np.random.default_rng(seed)
         self.cost_params = cost_params
+        self.deadline = resolve_deadline(deadline)
+        self.budget = resolve_budget(budget)
 
     def execute(self, plan: PlanNode) -> Tuple[Table, ExecutionStats]:
         stats = ExecutionStats()
@@ -112,7 +127,12 @@ class Executor:
         return result, stats
 
     # ------------------------------------------------------------------
+    def _checkpoint(self, node: PlanNode) -> None:
+        if self.deadline is not None:
+            self.deadline.check(site=f"executor.{type(node).__name__}")
+
     def _run(self, node: PlanNode, stats: ExecutionStats) -> Table:
+        self._checkpoint(node)
         if isinstance(node, Scan):
             return self._run_scan(node, stats)
         if isinstance(node, Filter):
@@ -149,11 +169,22 @@ class Executor:
                 )
             table = table.select(list(node.columns))
         total_blocks = table.num_blocks
+        from ..resilience.faults import maybe_fault
+
+        maybe_fault("executor.scan")  # chaos: slow blocks burn the clock here
         if node.sample is None:
             result, access = blockio.full_scan(table)
         else:
             result, access = self._sampled_scan(table, node.sample)
         stats.record_scan(node.table_name, access, total_blocks)
+        if self.budget is not None:
+            self.budget.charge(
+                rows=access.rows_scanned,
+                blocks=access.blocks_scanned,
+                site=f"scan:{node.table_name}",
+            )
+        if self.deadline is not None:
+            self.deadline.check(site=f"scan:{node.table_name}")
         if node.alias is not None:
             # Qualified output names let the SQL layer join a table with
             # itself and disambiguate columns across tables.

@@ -12,8 +12,9 @@ offline rewriter and the advisor look synopses up through it.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SynopsisError
 from ..sampling.base import WeightedSample
@@ -81,6 +82,10 @@ class SynopsisCatalog:
         self.join_synopses: List[JoinSynopsis] = []
         #: content-addressed store shared across catalog rebuilds
         self.cache = get_global_cache() if cache is None else cache
+        #: >0 inside :meth:`allow_stale` — freshness gates are suspended
+        self._stale_depth = 0
+        #: per-sketch circuit breakers guarding repeated build failures
+        self._sketch_breakers: Dict[Tuple[str, str, str], object] = {}
         setattr(database, self._ATTR, self)
 
     # ------------------------------------------------------------------
@@ -91,6 +96,29 @@ class SynopsisCatalog:
         if existing is not None:
             return existing
         return cls(database)
+
+    # ------------------------------------------------------------------
+    # Freshness policy
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def allow_stale(self) -> Iterator["SynopsisCatalog"]:
+        """Suspend the freshness gate for the enclosed lookups.
+
+        The degradation ladder's stale-synopsis rung deliberately serves
+        from entries that failed :attr:`staleness_threshold` — it widens
+        their error bars afterwards — so it needs lookups that see those
+        entries without loosening the gate for everyone else. Nests
+        safely; the gate is restored on exit even if the body raises.
+        """
+        self._stale_depth += 1
+        try:
+            yield self
+        finally:
+            self._stale_depth -= 1
+
+    @property
+    def stale_allowed(self) -> bool:
+        return self._stale_depth > 0
 
     # ------------------------------------------------------------------
     # Samples
@@ -118,6 +146,7 @@ class SynopsisCatalog:
             if e.table == table
             and (
                 not require_fresh
+                or self.stale_allowed
                 or e.staleness(self.database) <= self.staleness_threshold
             )
         ]
@@ -159,7 +188,11 @@ class SynopsisCatalog:
         entry = self.sketches.get((table, column, kind))
         if entry is None:
             return None
-        if require_fresh and entry.staleness(self.database) > self.staleness_threshold:
+        if (
+            require_fresh
+            and not self.stale_allowed
+            and entry.staleness(self.database) > self.staleness_threshold
+        ):
             return None
         return entry
 
@@ -170,6 +203,7 @@ class SynopsisCatalog:
         kind: str,
         builder: Callable[..., object],
         params: Optional[Dict[str, object]] = None,
+        retry=None,
     ) -> SketchEntry:
         """A fresh sketch entry, built through the synopsis cache.
 
@@ -177,17 +211,44 @@ class SynopsisCatalog:
         catalog nor the cache holds the synopsis — so a rebuilt catalog
         (a benchmark rerun, a fresh session over the same data) reuses
         the sketch bytes instead of re-ingesting the column.
+
+        Builds run behind a per-sketch circuit breaker: after repeated
+        build failures the breaker opens and further calls fail fast
+        with :class:`~repro.core.exceptions.SynopsisUnavailable` until
+        its cooldown half-opens it — a flapping builder cannot stall
+        every query that wants the sketch. Pass a
+        :class:`~repro.resilience.retry.RetryPolicy` as ``retry`` to
+        also retry transient build failures with backoff; the default is
+        a single attempt.
         """
         existing = self.find_sketch(table, column, kind)
         if existing is not None:
             return existing
+        from ..resilience.faults import maybe_fault
+        from ..resilience.retry import CircuitBreaker, RetryPolicy
+
+        skey = (table, column, kind)
+        breaker = self._sketch_breakers.get(skey)
+        if breaker is None:
+            breaker = CircuitBreaker(failure_threshold=3, cooldown=2)
+            self._sketch_breakers[skey] = breaker
         table_obj = self.database.table(table)
-        sketch = self.cache.get_or_build(
-            table_obj,
-            kind=f"sketch:{kind}",
-            columns=(column,),
-            params=params,
-            builder=lambda: builder(table_obj, column),
+
+        def _build() -> object:
+            maybe_fault("catalog.sketch_build")
+            return self.cache.get_or_build(
+                table_obj,
+                kind=f"sketch:{kind}",
+                columns=(column,),
+                params=params,
+                builder=lambda: builder(table_obj, column),
+            )
+
+        policy = retry if retry is not None else RetryPolicy(
+            max_attempts=1, jitter=0.0, seed=0
+        )
+        sketch = policy.call(
+            _build, site=f"sketch:{table}.{column}:{kind}", breaker=breaker
         )
         entry = SketchEntry(
             table=table,

@@ -235,8 +235,20 @@ class RippleJoin:
         self,
         batch: int = 1000,
         target_relative_error: Optional[float] = None,
+        deadline=None,
     ) -> Iterator[RippleSnapshot]:
+        """Stream snapshots until the target CI, data exhaustion, or
+        ``deadline`` expiry — the deadline stops the ripple at a batch
+        boundary instead of raising, so the last yielded snapshot is the
+        best-effort answer. An ambient
+        :func:`repro.resilience.deadline_scope` applies when no explicit
+        deadline is passed."""
+        from ..resilience.deadline import resolve_deadline
+
+        deadline = resolve_deadline(deadline)
         while self._kl < self.n_left or self._kr < self.n_right:
+            if deadline is not None and deadline.expired:
+                return
             snap = self.advance(batch)
             yield snap
             if (

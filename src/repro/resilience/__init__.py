@@ -1,0 +1,49 @@
+"""Resilient query serving: deadlines, degradation, retries, chaos.
+
+The paper's survey is about what AQP techniques *trade away*; this
+package is about what a deployment must survive *around* them: synopses
+that are stale, missing, or mid-rebuild, estimators that blow their
+deadline, and queries the planner cannot serve at the requested error.
+Four pieces:
+
+* :mod:`~repro.resilience.deadline` — cooperative :class:`Deadline` /
+  :class:`ResourceBudget` objects threaded through the executor, the
+  OLA/ripple loops, and synopsis builds;
+* :mod:`~repro.resilience.ladder` — :class:`ResilientEngine`, the
+  degradation ladder that turns any failure into the best answer the
+  remaining budget allows (or a typed refusal with full provenance);
+* :mod:`~repro.resilience.retry` — deterministic retry/backoff and
+  circuit breaking for synopsis construction and cache fills;
+* :mod:`~repro.resilience.faults` — the seeded fault-injection harness
+  the chaos suite drives.
+"""
+
+from .deadline import (
+    Deadline,
+    ManualClock,
+    ResourceBudget,
+    current_budget,
+    current_deadline,
+    deadline_scope,
+)
+from .faults import FaultInjector, FaultSpec, inject, install_injector, maybe_fault
+from .ladder import LADDER_RUNGS, ResilientEngine
+from .retry import CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "Deadline",
+    "ManualClock",
+    "ResourceBudget",
+    "deadline_scope",
+    "current_deadline",
+    "current_budget",
+    "FaultInjector",
+    "FaultSpec",
+    "inject",
+    "install_injector",
+    "maybe_fault",
+    "ResilientEngine",
+    "LADDER_RUNGS",
+    "CircuitBreaker",
+    "RetryPolicy",
+]

@@ -1,0 +1,187 @@
+"""Deterministic fault injection.
+
+The chaos suite needs real failures in real places — synopsis builders
+that throw, cache entries that vanish mid-query, blocks that read
+slowly, sample metadata that comes back corrupted — and it needs the
+exact same failures on every run of a given seed. This module provides
+that: production code calls :func:`maybe_fault(site)` at its hazard
+points (a no-op when no injector is installed), and tests install a
+:class:`FaultInjector` whose decisions are a pure function of
+``(seed, site, arrival_index)``.
+
+Fault kinds:
+
+* ``"error"``   — raise (:class:`InjectedFault` by default, or any
+  exception type the spec names) at the site;
+* ``"slow"``    — advance the injector's clock by ``delay`` seconds,
+  simulating a slow block/build under a ManualClock deadline;
+* ``"evict"``   — tell the site to drop its cached state first
+  (synopsis cache uses this to model eviction mid-query);
+* ``"corrupt"`` — tell the site its metadata failed validation
+  (the ladder treats the synopsis as unusable).
+
+``"error"`` faults raise from inside :func:`maybe_fault`; ``"evict"`` /
+``"corrupt"`` are *returned* as markers because only the site knows how
+to act on them. ``"slow"`` is handled entirely by the injector.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.exceptions import InjectedFault
+from .deadline import ManualClock
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "get_injector",
+    "install_injector",
+    "inject",
+    "maybe_fault",
+]
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault family at one site.
+
+    ``probability`` is evaluated per arrival with a deterministic RNG
+    keyed on (injector seed, site, arrival index); ``after`` skips the
+    first N arrivals (let the system warm up, then break it);
+    ``max_fires`` caps total firings (a transient outage, not a
+    permanent one).
+    """
+
+    site: str
+    kind: str = "error"  # error | slow | evict | corrupt
+    probability: float = 1.0
+    after: int = 0
+    max_fires: Optional[int] = None
+    delay: float = 0.0  # for kind="slow"
+    error_type: Type[BaseException] = InjectedFault
+    message: str = ""
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "slow", "evict", "corrupt"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError("probability must be in [0, 1]")
+
+
+class FaultInjector:
+    """Replays a seeded fault schedule against named sites."""
+
+    def __init__(
+        self,
+        specs: Optional[List[FaultSpec]] = None,
+        seed: int = 0,
+        clock: Optional[ManualClock] = None,
+    ) -> None:
+        self.specs: List[FaultSpec] = list(specs or [])
+        self.seed = seed
+        self.clock = clock
+        self._arrivals: dict = {}
+        #: (site, kind, arrival_index) of every fault that fired
+        self.fired: List[Tuple[str, str, int]] = []
+        self._lock = threading.Lock()
+
+    def add(self, spec: FaultSpec) -> "FaultInjector":
+        self.specs.append(spec)
+        return self
+
+    # ------------------------------------------------------------------
+    def _decide(self, spec: FaultSpec, site: str, arrival: int) -> bool:
+        if arrival < spec.after:
+            return False
+        if spec.max_fires is not None and spec.fires >= spec.max_fires:
+            return False
+        if spec.probability >= 1.0:
+            return True
+        ss = np.random.SeedSequence(
+            [self.seed, zlib.crc32(site.encode("utf-8")), arrival]
+        )
+        u = np.random.default_rng(ss).random()
+        return bool(u < spec.probability)
+
+    def arrive(self, site: str) -> Optional[str]:
+        """Record an arrival at ``site``; fire at most one fault.
+
+        Returns ``"evict"`` / ``"corrupt"`` markers for the site to act
+        on, ``None`` when nothing fired, and raises for error faults.
+        Slow faults advance the clock and return ``None`` (the slowdown
+        is visible only through the deadline).
+        """
+        with self._lock:
+            arrival = self._arrivals.get(site, 0)
+            self._arrivals[site] = arrival + 1
+            for spec in self.specs:
+                if spec.site != site:
+                    continue
+                if not self._decide(spec, site, arrival):
+                    continue
+                spec.fires += 1
+                self.fired.append((site, spec.kind, arrival))
+                if spec.kind == "slow":
+                    if self.clock is not None:
+                        self.clock.advance(spec.delay)
+                    return None
+                if spec.kind in ("evict", "corrupt"):
+                    return spec.kind
+                # kind == "error"
+                message = spec.message or (
+                    f"injected fault at {site} (arrival {arrival})"
+                )
+                if spec.error_type is InjectedFault:
+                    raise InjectedFault(message, site=site)
+                raise spec.error_type(message)
+        return None
+
+    def fired_at(self, site: str) -> int:
+        return sum(1 for s, _, _ in self.fired if s == site)
+
+
+# ----------------------------------------------------------------------
+# Global installation point
+# ----------------------------------------------------------------------
+
+_installed: Optional[FaultInjector] = None
+
+
+def get_injector() -> Optional[FaultInjector]:
+    return _installed
+
+
+def install_injector(injector: Optional[FaultInjector]) -> None:
+    global _installed
+    _installed = injector
+
+
+@contextlib.contextmanager
+def inject(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` globally for the duration of the block."""
+    previous = _installed
+    install_injector(injector)
+    try:
+        yield injector
+    finally:
+        install_injector(previous)
+
+
+def maybe_fault(site: str) -> Optional[str]:
+    """The hook production code calls at hazard points.
+
+    Free when no injector is installed. Returns an action marker
+    (``"evict"`` / ``"corrupt"``) or ``None``; raises for error faults.
+    """
+    injector = _installed
+    if injector is None:
+        return None
+    return injector.arrive(site)

@@ -1,0 +1,197 @@
+"""Deterministic retry/backoff and circuit breaking.
+
+Synopsis builds and cache fills are the two operations in this engine
+that can *transiently* fail (in production: an object store hiccup, a
+maintenance job holding a lock; here: whatever the fault injector
+decides). The policy is the classic pair:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic jitter (seeded, so a chaos schedule replays exactly);
+* :class:`CircuitBreaker` — after enough consecutive failures the
+  breaker opens and callers skip the operation outright (the ladder
+  moves to its next rung) instead of hammering a flapping builder; after
+  a cooldown it half-opens and lets one probe through.
+
+Both are hand-rolled: no external dependency, no wall-clock sleeping by
+default. Backoff "sleeps" go through an injectable ``sleeper`` so tests
+use a :class:`~repro.resilience.deadline.ManualClock` and real callers
+may pass ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TypeVar
+
+import numpy as np
+
+from ..core.exceptions import DeadlineExceeded, SynopsisUnavailable
+from .deadline import Deadline
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Bounded retries with seeded exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, including the first (so ``1`` disables retrying).
+    base_delay / multiplier / max_delay:
+        Backoff schedule: attempt ``k`` (0-based) waits
+        ``min(base_delay * multiplier**k, max_delay)`` scaled by jitter.
+    jitter:
+        Fractional jitter width; the delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]`` using the seeded RNG,
+        so two policies with the same seed back off identically.
+    sleeper:
+        Callable receiving each delay. Defaults to a no-op that only
+        records (simulated time); pass ``time.sleep`` for real waits or
+        a ``ManualClock.advance`` for deterministic chaos time.
+    retry_on:
+        Exception classes that are considered transient. Anything else
+        (notably :class:`DeadlineExceeded`) propagates immediately.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.1,
+        seed: Optional[int] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
+        retry_on: tuple = (Exception,),
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retry_on = retry_on
+        self._rng = np.random.default_rng(seed)
+        self._sleeper = sleeper
+        #: simulated/real delays actually waited, for tests & provenance
+        self.delays: List[float] = []
+
+    # ------------------------------------------------------------------
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        raw = min(
+            self.base_delay * (self.multiplier ** attempt), self.max_delay
+        )
+        if self.jitter > 0:
+            raw *= float(
+                self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            )
+        return raw
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        site: str = "",
+        deadline: Optional[Deadline] = None,
+        breaker: Optional["CircuitBreaker"] = None,
+    ) -> T:
+        """Run ``fn`` under the policy; raise the last error when beaten.
+
+        A ``breaker`` is consulted before every attempt and fed every
+        outcome; an open breaker raises :class:`SynopsisUnavailable`
+        without calling ``fn`` — the caller's cue to degrade. A
+        ``deadline`` is checked between attempts so retries never push a
+        query past its time budget.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None:
+                deadline.check(site=f"retry:{site}")
+            if breaker is not None and not breaker.allow():
+                raise SynopsisUnavailable(
+                    f"circuit open for {site or 'operation'}; not retrying"
+                )
+            try:
+                result = fn()
+            except DeadlineExceeded:
+                raise  # never retry past a deadline checkpoint
+            except self.retry_on as exc:
+                last = exc
+                if breaker is not None:
+                    breaker.record_failure()
+                if attempt + 1 < self.max_attempts:
+                    delay = self.backoff(attempt)
+                    self.delays.append(delay)
+                    if self._sleeper is not None:
+                        self._sleeper(delay)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return result
+        assert last is not None
+        raise last
+
+
+class CircuitBreaker:
+    """A counting (not wall-clock) circuit breaker.
+
+    State machine: ``closed`` → (``failure_threshold`` consecutive
+    failures) → ``open`` → (``cooldown`` rejected ``allow()`` calls) →
+    ``half_open`` → one probe; success closes, failure re-opens.
+
+    Counting cooldowns instead of timing them keeps chaos runs
+    deterministic: the breaker's behaviour is a pure function of the
+    call sequence.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 5) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._rejections_while_open = 0
+        #: lifetime counters for reports
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the protected operation run right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            self._rejections_while_open += 1
+            if self._rejections_while_open >= self.cooldown:
+                self.state = "half_open"
+            return False
+        # half_open: let exactly one probe through
+        return True
+
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        self.state = "closed"
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        if self.state == "half_open" or (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self.times_opened += 1
+            self._rejections_while_open = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"failures={self.consecutive_failures})"
+        )

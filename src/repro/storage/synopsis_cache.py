@@ -43,6 +43,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    failed_builds: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,11 +59,13 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "failed_builds": self.failed_builds,
             "hit_rate": self.hit_rate,
         }
 
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = self.invalidations = 0
+        self.failed_builds = 0
 
 
 @dataclass
@@ -181,6 +184,16 @@ class SynopsisCache:
                 self._bytes -= evicted.nbytes
                 self.stats.evictions += 1
 
+    def evict(self, key: Tuple) -> bool:
+        """Drop one entry by key. Returns whether anything was dropped."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.nbytes
+            self.stats.evictions += 1
+            return True
+
     def get_or_build(
         self,
         table,
@@ -189,18 +202,37 @@ class SynopsisCache:
         columns: Sequence[str] = (),
         params: Optional[Mapping[str, Any]] = None,
         nbytes: Optional[int] = None,
+        refresh: bool = False,
     ) -> Any:
         """Return the cached synopsis or build + admit it.
 
         ``builder`` runs outside the lock, so concurrent builders may
         race and both build — last write wins, answers are identical by
-        construction of the key.
+        construction of the key. ``refresh=True`` skips the lookup and
+        rebuilds unconditionally (maintenance / forced refresh).
+
+        Failure semantics: if ``builder`` raises, the key is evicted
+        before the exception propagates, so a build that died halfway —
+        even one that self-registered a partial result through a nested
+        :meth:`put` — can never leave a poisoned entry behind for the
+        next lookup to trust.
         """
+        from ..resilience.faults import maybe_fault
+
         key = self.make_key(table, kind, columns, params)
-        value = self.get(key)
-        if value is not None:
-            return value
-        value = builder()
+        if maybe_fault("cache.lookup") == "evict":
+            self.evict(key)
+        if not refresh:
+            value = self.get(key)
+            if value is not None:
+                return value
+        try:
+            value = builder()
+        except BaseException:
+            with self._lock:
+                self.stats.failed_builds += 1
+            self.evict(key)
+            raise
         self.put(key, value, nbytes=nbytes)
         return value
 

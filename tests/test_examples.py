@@ -56,6 +56,16 @@ class TestExamples:
         assert "online aggregation" in out
         assert "peeking" in out
 
+    def test_resilience_demo(self, capsys, monkeypatch):
+        mod = load("resilience_demo")
+        monkeypatch.setattr(mod, "NUM_ROWS", 50_000)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "stale sample, widened bars" in out
+        assert "partial-OLA snapshot" in out
+        assert "typed refusal with provenance" in out
+        assert "every rung of the degradation ladder failed" in out
+
     def test_adhoc_exploration_importable(self):
         # The ad-hoc session builds a scale-5 TPC-H; too heavy for unit
         # tests, but its SESSION queries must at least parse and bind.
