@@ -43,6 +43,7 @@ CACHE_RELEVANT = {
 #: covers a sketch kernel, an offline-cache path, and an online path.
 SMOKE_SET = [
     "bench_p01_sketch_ingest",
+    "bench_p02_scatter_gather",
     "bench_e10_sample_seek",
     "bench_e13_ola",
 ]

@@ -170,6 +170,17 @@ class AuditContext:
         )
 
     @property
+    def sharded_exponential(self):
+        """The exponential table split into 8 hash shards (built once)."""
+        if not hasattr(self, "_sharded_exp"):
+            from ..sharding import ShardedTable
+
+            self._sharded_exp = ShardedTable.from_table(
+                self.exponential, num_shards=8
+            )
+        return self._sharded_exp
+
+    @property
     def heavytail(self) -> Table:
         """Lognormal(σ=2.5): rare huge values, the CLT's known enemy."""
         n = int(40_000 * max(self.scale, 0.25))
@@ -406,6 +417,47 @@ def _degraded_stale_widened(ctx: AuditContext, seed: int) -> TrialResult:
     if not getattr(result, "is_degraded", False):
         # Served fresh: the staleness setup failed; count as a refusal
         # so the path cannot pass by accident.
+        return TrialResult(math.nan, math.nan, hit=False, refused=True)
+    cell = result.estimate("s", 0)
+    return TrialResult(
+        cell.value, truth, cell.covers(truth), cell.ci_low, cell.ci_high
+    )
+
+
+def _degraded_missing_shard(ctx: AuditContext, seed: int) -> TrialResult:
+    """Audit k-of-n scatter-gather widening against the whole-table oracle.
+
+    Per trial: the 8-shard exponential table loses one shard (a seeded
+    victim is killed through the fault injector, so both the primary and
+    the hedged attempt against it fail), and the query is served in OLA
+    mode — each surviving shard reports a fixed-stop CI from 30% of its
+    rows, so the merged interval carries real sampling error, not a
+    trivially-exact answer. The missing shard contributes its catalog
+    envelope: the reported CI is widened by ``[Σ negative, Σ positive]``
+    of the victim's value column. That widened interval must cover the
+    exact whole-table SUM at ≥ the claimed rate. An answer that is not
+    degraded means the kill failed to land; count it as a refusal so the
+    path cannot pass by accident.
+    """
+    from ..resilience.faults import FaultInjector, inject, kill_shard
+    from ..sharding import ScatterGatherExecutor
+
+    sharded = ctx.sharded_exponential
+    truth = float(np.asarray(ctx.exponential["value"], dtype=np.float64).sum())
+    victim = int(_rng(seed).integers(0, sharded.num_shards))
+    executor = ScatterGatherExecutor(sharded, max_workers=1)
+    spec = ErrorSpec(relative_error=0.10, confidence=0.95)
+    try:
+        with inject(FaultInjector([kill_shard(victim)])):
+            result = executor.sql(
+                "SELECT SUM(value) AS s FROM exp_t",
+                spec=spec,
+                seed=seed,
+                mode="ola",
+            )
+    except QueryRefused:
+        return TrialResult(math.nan, math.nan, hit=False, refused=True)
+    if not result.is_degraded:
         return TrialResult(math.nan, math.nan, hit=False, refused=True)
     cell = result.estimate("s", 0)
     return TrialResult(
@@ -725,6 +777,20 @@ def build_paths() -> List[AuditPath]:
                 "cover the current exact answer"
             ),
             run=_degraded_stale_widened,
+            heavy=True,
+        ),
+        AuditPath(
+            name="degraded_missing_shard",
+            family="resilience",
+            claim="ci",
+            claimed_coverage=0.95,
+            description=(
+                "Scatter-gather k-of-n serving: one of 8 shards is "
+                "killed; the 7-shard OLA answer, widened by the missing "
+                "shard's catalog envelope, must still cover the exact "
+                "whole-table SUM"
+            ),
+            run=_degraded_missing_shard,
             heavy=True,
         ),
         AuditPath(

@@ -194,6 +194,39 @@ class Table:
     def empty_like(template: "Table") -> "Table":
         return template.take(np.array([], dtype=np.int64))
 
+    def split_by_assignment(
+        self, assignment: np.ndarray, num_parts: int
+    ) -> List["Table"]:
+        """Partition rows into ``num_parts`` tables by an assignment vector.
+
+        ``assignment[i]`` names the part row ``i`` belongs to; parts with
+        no rows come back empty. Row order within each part follows the
+        original table (a stable partition), which keeps block structure
+        and downstream fingerprints deterministic.
+        """
+        assignment = np.asarray(assignment)
+        if len(assignment) != self.num_rows:
+            raise SchemaError(
+                f"assignment length {len(assignment)} != rows {self.num_rows}"
+            )
+        if num_parts < 1:
+            raise SchemaError("num_parts must be >= 1")
+        if len(assignment) and (
+            assignment.min() < 0 or assignment.max() >= num_parts
+        ):
+            raise SchemaError(
+                f"assignment values must lie in [0, {num_parts})"
+            )
+        order = np.argsort(assignment, kind="stable")
+        sorted_assign = assignment[order]
+        ids = np.arange(num_parts)
+        starts = np.searchsorted(sorted_assign, ids, side="left")
+        stops = np.searchsorted(sorted_assign, ids, side="right")
+        return [
+            self.take(order[start:stop])
+            for start, stop in zip(starts, stops)
+        ]
+
     # ------------------------------------------------------------------
     # Blocks
     # ------------------------------------------------------------------

@@ -34,6 +34,10 @@ class SampleEntry:
     built_at_rows: int = 0
     #: monotonically increasing refresh counter (for maintenance stats)
     version: int = 0
+    #: shard id for per-shard synopses of a sharded table; ``None`` means
+    #: the entry covers the whole table. Shard entries only answer
+    #: shard-aware lookups (and vice versa) — see :meth:`find_sample`.
+    shard: Optional[int] = None
 
     @property
     def storage_rows(self) -> int:
@@ -56,6 +60,8 @@ class SketchEntry:
     kind: str  # "hll", "countmin", "kmv", "quantile", ...
     sketch: object
     built_at_rows: int = 0
+    #: shard id for per-shard sketches; ``None`` covers the whole table
+    shard: Optional[int] = None
 
     def staleness(self, database) -> float:
         current = database.table(self.table).num_rows
@@ -133,17 +139,22 @@ class SynopsisCatalog:
         table: str,
         group_columns: Sequence[str] = (),
         require_fresh: bool = True,
+        shard: Optional[int] = None,
     ) -> Optional[SampleEntry]:
         """Best sample for ``table`` grouped by ``group_columns``.
 
         Preference: a stratified sample whose strata column is one of the
         group columns (group coverage!), then any uniform sample. Stale
-        entries are skipped when ``require_fresh``.
+        entries are skipped when ``require_fresh``. ``shard`` selects a
+        per-shard entry; whole-table lookups (``shard=None``) never see
+        shard entries — a shard's sample describes a fraction of the
+        table and would silently bias a whole-table estimate.
         """
         fresh = [
             e
             for e in self.samples
             if e.table == table
+            and e.shard == shard
             and (
                 not require_fresh
                 or self.stale_allowed

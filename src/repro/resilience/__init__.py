@@ -26,8 +26,18 @@ from .deadline import (
     current_deadline,
     deadline_scope,
 )
-from .faults import FaultInjector, FaultSpec, inject, install_injector, maybe_fault
-from .ladder import LADDER_RUNGS, ResilientEngine
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    corrupt_shard,
+    inject,
+    install_injector,
+    kill_shard,
+    maybe_fault,
+    shard_site,
+    slow_shard,
+)
+from .ladder import LADDER_RUNGS, RESHARD_RUNG, ResilientEngine
 from .retry import CircuitBreaker, RetryPolicy
 
 __all__ = [
@@ -42,8 +52,13 @@ __all__ = [
     "inject",
     "install_injector",
     "maybe_fault",
+    "shard_site",
+    "kill_shard",
+    "slow_shard",
+    "corrupt_shard",
     "ResilientEngine",
     "LADDER_RUNGS",
+    "RESHARD_RUNG",
     "CircuitBreaker",
     "RetryPolicy",
 ]

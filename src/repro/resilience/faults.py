@@ -45,6 +45,10 @@ __all__ = [
     "install_injector",
     "inject",
     "maybe_fault",
+    "shard_site",
+    "kill_shard",
+    "slow_shard",
+    "corrupt_shard",
 ]
 
 
@@ -185,3 +189,45 @@ def maybe_fault(site: str) -> Optional[str]:
     if injector is None:
         return None
     return injector.arrive(site)
+
+
+# ----------------------------------------------------------------------
+# Shard-level fault sites (see repro.sharding.executor)
+# ----------------------------------------------------------------------
+
+def shard_site(shard_id: int, op: str) -> str:
+    """Canonical fault-site name for a shard operation.
+
+    The scatter-gather executor arrives at ``shard.<i>.exec`` when a
+    primary attempt starts, ``shard.<i>.hedge`` when a hedged attempt
+    starts, and ``shard.<i>.scan`` at every block/batch boundary of the
+    shard's scan.
+    """
+    return f"shard.{shard_id}.{op}"
+
+
+def kill_shard(shard_id: int, **overrides) -> FaultSpec:
+    """A shard that is simply gone: every attempt against it errors."""
+    defaults = dict(
+        site=shard_site(shard_id, "exec"),
+        kind="error",
+        message=f"shard {shard_id} unreachable",
+    )
+    defaults.update(overrides)
+    return FaultSpec(**defaults)
+
+
+def slow_shard(shard_id: int, delay: float, **overrides) -> FaultSpec:
+    """A straggler: each scan boundary costs ``delay`` extra seconds."""
+    defaults = dict(
+        site=shard_site(shard_id, "scan"), kind="slow", delay=delay
+    )
+    defaults.update(overrides)
+    return FaultSpec(**defaults)
+
+
+def corrupt_shard(shard_id: int, **overrides) -> FaultSpec:
+    """A shard whose data fails checksum validation on read."""
+    defaults = dict(site=shard_site(shard_id, "exec"), kind="corrupt")
+    defaults.update(overrides)
+    return FaultSpec(**defaults)

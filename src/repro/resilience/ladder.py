@@ -75,7 +75,7 @@ from .deadline import Deadline, ResourceBudget, deadline_scope
 from .faults import maybe_fault
 from .retry import CircuitBreaker, RetryPolicy
 
-__all__ = ["ResilientEngine", "LADDER_RUNGS"]
+__all__ = ["ResilientEngine", "LADDER_RUNGS", "RESHARD_RUNG"]
 
 #: rung names in fall-through order (documentation + provenance schema)
 LADDER_RUNGS = (
@@ -85,6 +85,12 @@ LADDER_RUNGS = (
     "partial_ola",
     "exact_no_guarantee",
 )
+
+#: provenance rung used by the scatter-gather executor when an answer is
+#: assembled from k-of-n shards with CIs widened for the missing ones —
+#: the multi-shard analogue of ``stale_synopsis`` widening (DESIGN.md
+#: §2.11). Not part of the single-node fall-through order above.
+RESHARD_RUNG = "reshard_degraded"
 
 #: failures worth retrying: injected/environmental, not planner refusals
 _TRANSIENT = (InjectedFault, OSError, MemoryError, ConnectionError)

@@ -25,7 +25,7 @@ from typing import Callable, List, Optional, TypeVar
 import numpy as np
 
 from ..core.exceptions import DeadlineExceeded, SynopsisUnavailable
-from .deadline import Deadline
+from .deadline import Deadline, current_deadline
 
 __all__ = ["RetryPolicy", "CircuitBreaker"]
 
@@ -103,9 +103,18 @@ class RetryPolicy:
         A ``breaker`` is consulted before every attempt and fed every
         outcome; an open breaker raises :class:`SynopsisUnavailable`
         without calling ``fn`` — the caller's cue to degrade. A
-        ``deadline`` is checked between attempts so retries never push a
-        query past its time budget.
+        ``deadline`` (explicit, else the ambient one) is checked between
+        attempts, and backoff sleeps are capped at its remaining time, so
+        retries never push a query past its time budget.
+
+        :class:`DeadlineExceeded` from inside ``fn`` propagates without
+        consuming a retry — but it still re-opens a half-open breaker: a
+        probe that blew the deadline has not demonstrated recovery, and
+        leaving the breaker ``half_open`` would hand the next caller a
+        free probe against an operation we know nothing new about.
         """
+        if deadline is None:
+            deadline = current_deadline()
         last: Optional[BaseException] = None
         for attempt in range(self.max_attempts):
             if deadline is not None:
@@ -117,15 +126,21 @@ class RetryPolicy:
             try:
                 result = fn()
             except DeadlineExceeded:
-                raise  # never retry past a deadline checkpoint
+                # Never retry past a deadline checkpoint — but an aborted
+                # half-open probe must not leave the breaker half-open.
+                if breaker is not None and breaker.state == "half_open":
+                    breaker.reopen()
+                raise
             except self.retry_on as exc:
                 last = exc
                 if breaker is not None:
                     breaker.record_failure()
                 if attempt + 1 < self.max_attempts:
                     delay = self.backoff(attempt)
+                    if deadline is not None:
+                        delay = min(delay, max(deadline.remaining(), 0.0))
                     self.delays.append(delay)
-                    if self._sleeper is not None:
+                    if self._sleeper is not None and delay > 0:
                         self._sleeper(delay)
                 continue
             if breaker is not None:
@@ -189,6 +204,19 @@ class CircuitBreaker:
             self.state = "open"
             self.times_opened += 1
             self._rejections_while_open = 0
+
+    def reopen(self) -> None:
+        """Re-open without recording an ordinary failure.
+
+        For probes that were *aborted* (e.g. by a deadline) rather than
+        observed to fail: the operation's health is unknown, so the
+        breaker returns to ``open`` and the cooldown restarts, but the
+        failure counters — which describe the protected operation, not
+        the caller's time budget — are untouched.
+        """
+        self.state = "open"
+        self.times_opened += 1
+        self._rejections_while_open = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,38 @@
+"""Partition-tolerant sharded execution (DESIGN.md §2.11).
+
+Split a table into N shards, fan aggregate queries out to shard workers,
+and merge partial answers while surviving shard kills, stragglers, and
+corruption — widening the CI honestly for whatever was not served.
+"""
+
+from .executor import (
+    AggPartial,
+    SCATTER_RUNG,
+    ScatterGatherExecutor,
+    ShardOutcome,
+    ShardPartial,
+)
+from .merge import merge_sketches, merge_snapshots, merge_weighted_samples
+from .table import (
+    ColumnBounds,
+    Shard,
+    ShardStats,
+    ShardedTable,
+    compute_shard_stats,
+)
+
+__all__ = [
+    "AggPartial",
+    "ColumnBounds",
+    "SCATTER_RUNG",
+    "ScatterGatherExecutor",
+    "Shard",
+    "ShardOutcome",
+    "ShardPartial",
+    "ShardStats",
+    "ShardedTable",
+    "compute_shard_stats",
+    "merge_sketches",
+    "merge_snapshots",
+    "merge_weighted_samples",
+]

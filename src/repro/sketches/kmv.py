@@ -77,6 +77,11 @@ class KMVSketch:
         out.values = merged[: out.k]
         return out
 
+    #: union IS the mergeable-summary operation; the alias gives KMV the
+    #: same ``merge`` verb every other sketch exposes (shard fan-in code
+    #: folds heterogeneous sketches through one method name).
+    merge = union
+
     def intersection_estimate(self, other: "KMVSketch") -> float:
         """Estimated |A ∩ B| via the common-θ sample.
 

@@ -96,6 +96,42 @@ class SpaceSaving:
         items = sorted(self.counters.items(), key=lambda kv: -kv[1][0])
         return [(item, c) for item, (c, _) in items[:k]]
 
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Combine two summaries of disjoint streams (Agarwal et al.,
+        "Mergeable Summaries").
+
+        An item absent from one side could still have occurred in that
+        side's stream up to its minimum counter (if that side is at
+        capacity) — that possibility becomes count *and* error, keeping
+        the invariant ``count - error ≤ true ≤ count``. The merged table
+        is then pruned back to the larger capacity by keeping the
+        largest counts; pruned mass is inherited as error by nothing
+        (pruned items simply fall back to estimate 0), exactly as in a
+        fresh SpaceSaving of the concatenated stream.
+        """
+        if not isinstance(other, SpaceSaving):
+            raise TypeError("can only merge SpaceSaving with SpaceSaving")
+        capacity = max(self.capacity, other.capacity)
+        out = SpaceSaving(capacity=capacity)
+        out.total = self.total + other.total
+
+        def floor(sketch: "SpaceSaving") -> int:
+            if len(sketch.counters) < sketch.capacity:
+                return 0
+            return min(c for c, _ in sketch.counters.values())
+
+        floor_self, floor_other = floor(self), floor(other)
+        merged: Dict[object, Tuple[int, int]] = {}
+        for item in set(self.counters) | set(other.counters):
+            c1, e1 = self.counters.get(item, (floor_self, floor_self))
+            c2, e2 = other.counters.get(item, (floor_other, floor_other))
+            merged[item] = (c1 + c2, e1 + e2)
+        if len(merged) > capacity:
+            keep = sorted(merged.items(), key=lambda kv: -kv[1][0])[:capacity]
+            merged = dict(keep)
+        out.counters = merged
+        return out
+
     @property
     def max_error(self) -> int:
         """Largest possible overestimate of any reported count (≤ N/k)."""

@@ -134,11 +134,18 @@ class SynopsisCache:
         kind: str,
         columns: Sequence[str] = (),
         params: Optional[Mapping[str, Any]] = None,
+        shard: Optional[int] = None,
     ) -> Tuple:
         """Content-addressed key: identity AND content of the table.
 
         ``table`` may be a Table (fingerprinted here) or a prefabricated
         ``(name, fingerprint)`` pair.
+
+        ``shard`` must be set for per-shard synopses. Fingerprints probe
+        only a bounded sample of values, so two shards of the same parent
+        — same name, same length, content differing only at unprobed rows
+        — can collide on fingerprint alone; the shard id keeps their
+        cache entries disjoint by construction.
         """
         if isinstance(table, tuple):
             name, fingerprint = table
@@ -150,6 +157,7 @@ class SynopsisCache:
             kind,
             tuple(columns),
             _freeze(params or {}),
+            shard,
         )
 
     # ------------------------------------------------------------------
@@ -203,6 +211,7 @@ class SynopsisCache:
         params: Optional[Mapping[str, Any]] = None,
         nbytes: Optional[int] = None,
         refresh: bool = False,
+        shard: Optional[int] = None,
     ) -> Any:
         """Return the cached synopsis or build + admit it.
 
@@ -219,7 +228,7 @@ class SynopsisCache:
         """
         from ..resilience.faults import maybe_fault
 
-        key = self.make_key(table, kind, columns, params)
+        key = self.make_key(table, kind, columns, params, shard=shard)
         if maybe_fault("cache.lookup") == "evict":
             self.evict(key)
         if not refresh:

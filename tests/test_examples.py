@@ -66,6 +66,18 @@ class TestExamples:
         assert "typed refusal with provenance" in out
         assert "every rung of the degradation ladder failed" in out
 
+    def test_sharding_demo(self, capsys, monkeypatch):
+        mod = load("sharding_demo")
+        monkeypatch.setattr(mod, "NUM_ROWS", 40_000)
+        monkeypatch.setattr(mod, "BLOCK_SIZE", 1_024)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "merged == single-table" in out
+        assert "served_hedged" in out
+        assert "widened bars still cover" in out
+        assert "covers truth: True  degraded=True" in out
+        assert "typed refusal with provenance" in out
+
     def test_adhoc_exploration_importable(self):
         # The ad-hoc session builds a scale-5 TPC-H; too heavy for unit
         # tests, but its SESSION queries must at least parse and bind.

@@ -1,0 +1,234 @@
+"""Mergeability property tests: shard sketches ≡ whole-table sketch.
+
+Every mergeable structure must satisfy the defining property of
+Agarwal et al.'s *Mergeable Summaries*: sketching N disjoint shards
+and merging gives the same answer (bit-for-bit for the deterministic
+linear structures, to the structure's own guarantee for SpaceSaving)
+as sketching the concatenated stream once. This is what makes the
+scatter-gather layer's merge step semantics-preserving rather than a
+new approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.online.ola import OnlineAggregator
+from repro.sharding import (
+    ShardedTable,
+    merge_sketches,
+    merge_snapshots,
+    merge_weighted_samples,
+)
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.spacesaving import SpaceSaving
+
+NUM_SHARDS = 5
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(101)
+    # zipf-ish skew so heavy hitters exist and duplicates cross shards
+    data = rng.zipf(1.5, 20_000) % 5_000
+    shards = np.array_split(data, NUM_SHARDS)
+    return data, shards
+
+
+class TestSketchShardEquivalence:
+    """Deterministic structures: merged state is bit-for-bit identical."""
+
+    def test_count_min(self, stream):
+        data, shards = stream
+        whole = CountMinSketch(epsilon=0.005, delta=0.01, seed=3)
+        whole.add(data)
+        parts = []
+        for chunk in shards:
+            s = CountMinSketch(epsilon=0.005, delta=0.01, seed=3)
+            s.add(chunk)
+            parts.append(s)
+        merged = merge_sketches(parts)
+        assert np.array_equal(merged.counters, whole.counters)
+        assert merged.total == whole.total
+
+    def test_count_sketch(self, stream):
+        data, shards = stream
+        whole = CountSketch(depth=5, width=1024, seed=3)
+        whole.add(data)
+        parts = []
+        for chunk in shards:
+            s = CountSketch(depth=5, width=1024, seed=3)
+            s.add(chunk)
+            parts.append(s)
+        merged = merge_sketches(parts)
+        assert np.array_equal(merged.counters, whole.counters)
+        assert merged.total == whole.total
+
+    def test_hyperloglog(self, stream):
+        data, shards = stream
+        whole = HyperLogLog(precision=11, seed=3)
+        whole.add(data)
+        parts = []
+        for chunk in shards:
+            s = HyperLogLog(precision=11, seed=3)
+            s.add(chunk)
+            parts.append(s)
+        merged = merge_sketches(parts)
+        assert np.array_equal(merged.registers, whole.registers)
+        assert merged.estimate() == whole.estimate()
+
+    def test_kmv(self, stream):
+        data, shards = stream
+        whole = KMVSketch(k=256, seed=3)
+        whole.add(data)
+        parts = []
+        for chunk in shards:
+            s = KMVSketch(k=256, seed=3)
+            s.add(chunk)
+            parts.append(s)
+        merged = merge_sketches(parts)  # exercises the merge alias
+        assert np.array_equal(merged.values, whole.values)
+        assert merged.estimate() == whole.estimate()
+
+    def test_bloom(self, stream):
+        data, shards = stream
+        whole = BloomFilter(expected_items=20_000, fp_rate=0.01, seed=3)
+        whole.add(data)
+        parts = []
+        for chunk in shards:
+            s = BloomFilter(expected_items=20_000, fp_rate=0.01, seed=3)
+            s.add(chunk)
+            parts.append(s)
+        merged = merge_sketches(parts)
+        assert np.array_equal(merged.bits, whole.bits)
+        probe = np.unique(data)[:500]
+        assert bool(np.all(merged.contains(probe)))
+
+
+class TestSpaceSavingMerge:
+    """Merged SpaceSaving keeps its guarantees, not its exact state."""
+
+    def test_merge_preserves_count_error_invariant(self, stream):
+        data, shards = stream
+        true_counts = dict(zip(*np.unique(data, return_counts=True)))
+        parts = []
+        for chunk in shards:
+            s = SpaceSaving(capacity=128)
+            s.add(chunk)
+            parts.append(s)
+        merged = merge_sketches(parts)
+        assert merged.total == len(data)
+        assert len(merged.counters) <= merged.capacity
+        for item, (count, error) in merged.counters.items():
+            true = int(true_counts.get(item, 0))
+            assert count >= true, "SpaceSaving count must overestimate"
+            assert count - error <= true, (
+                f"guaranteed count {count - error} exceeds truth {true} "
+                f"for {item!r}"
+            )
+
+    def test_merge_retains_heavy_hitters(self, stream):
+        data, shards = stream
+        values, counts = np.unique(data, return_counts=True)
+        parts = []
+        for chunk in shards:
+            s = SpaceSaving(capacity=128)
+            s.add(chunk)
+            parts.append(s)
+        merged = merge_sketches(parts)
+        # every item heavier than N/capacity must still be tracked
+        threshold = len(data) / merged.capacity
+        for item in values[counts > threshold]:
+            assert merged.estimate(item.item()) > 0
+
+
+class TestSnapshotMerge:
+    def _shard_snapshots(self, sharded, seed, fraction=0.25):
+        snaps = []
+        for shard in sharded.shards:
+            agg = OnlineAggregator(
+                shard.table, "v", agg="sum", confidence=0.95, seed=seed
+            )
+            rows = max(1, int(shard.stats.rows * fraction))
+            snaps.append(agg.snapshot(rows))
+        return snaps
+
+    def test_merged_snapshot_adds_values_and_variances(self):
+        rng = np.random.default_rng(7)
+        table = Table({"v": rng.exponential(5.0, 8_000)}, name="t")
+        sharded = ShardedTable.from_table(table, 4)
+        snaps = self._shard_snapshots(sharded, seed=0)
+        merged = merge_snapshots(snaps, sharded.total_rows)
+        assert merged.value == pytest.approx(sum(s.value for s in snaps))
+        half2 = sum(((s.ci_high - s.ci_low) / 2.0) ** 2 for s in snaps)
+        assert (merged.ci_high - merged.ci_low) / 2.0 == pytest.approx(
+            math.sqrt(half2)
+        )
+        assert merged.rows_seen == sum(s.rows_seen for s in snaps)
+
+    def test_merged_snapshot_ci_is_honest(self):
+        rng = np.random.default_rng(17)
+        table = Table({"v": rng.lognormal(1.0, 1.0, 8_000)}, name="t")
+        sharded = ShardedTable.from_table(table, 4)
+        truth = float(np.asarray(table["v"]).sum())
+        hits = 0
+        trials = 40
+        for seed in range(trials):
+            merged = merge_snapshots(
+                self._shard_snapshots(sharded, seed=seed),
+                sharded.total_rows,
+            )
+            hits += merged.ci_low <= truth <= merged.ci_high
+        # nominal 95%; merged CI must not be anti-conservative
+        assert hits / trials >= 0.85
+
+    def test_non_finite_shard_half_width_poisons_the_merge(self):
+        rng = np.random.default_rng(3)
+        table = Table({"v": rng.normal(0.0, 1.0, 2_000)}, name="t")
+        sharded = ShardedTable.from_table(table, 4)
+        snaps = self._shard_snapshots(sharded, seed=0)
+        from repro.online.ola import OLASnapshot
+
+        snaps[2] = OLASnapshot(
+            rows_seen=1,
+            fraction_seen=0.0,
+            value=0.0,
+            ci_low=-math.inf,
+            ci_high=math.inf,
+        )
+        merged = merge_snapshots(snaps, sharded.total_rows)
+        assert math.isinf(merged.ci_low) and math.isinf(merged.ci_high)
+
+
+class TestWeightedSampleMerge:
+    def test_union_estimates_every_aggregate_honestly(self):
+        rng = np.random.default_rng(29)
+        table = Table(
+            {"v": rng.exponential(10.0, 10_000)}, name="events"
+        )
+        sharded = ShardedTable.from_table(table, 4)
+        from repro.sampling.row import srs_sample
+
+        samples = [
+            srs_sample(s.table, 500, np.random.default_rng(1000 + i))
+            for i, s in enumerate(sharded.shards)
+        ]
+        union = merge_weighted_samples(samples)
+        assert union.num_rows == 2_000
+        assert union.population_rows == 10_000
+        v = np.asarray(table["v"])
+        for est, truth, label in (
+            (union.estimate_sum("v"), float(v.sum()), "sum"),
+            (union.estimate_count(), 10_000.0, "count"),
+            (union.estimate_avg("v"), float(v.mean()), "avg"),
+        ):
+            lo, hi = est.ci(0.99)
+            assert lo <= truth <= hi, f"{label} CI misses truth"

@@ -251,6 +251,48 @@ class TestRetryPolicy:
         with pytest.raises(DeadlineExceeded):
             policy.call(fail_and_stall, site="build", deadline=dl)
 
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        clock = ManualClock()
+        dl = Deadline(1.0, clock=clock)
+        policy = RetryPolicy(
+            max_attempts=3,
+            base_delay=10.0,
+            max_delay=10.0,
+            jitter=0.0,
+            seed=0,
+            sleeper=clock.advance,
+            retry_on=(OSError,),
+        )
+
+        def always_fails():
+            raise OSError("transient")
+
+        # The un-capped schedule would sleep 10s; the cap trims it to the
+        # deadline's remaining 1s, and the between-attempt check then
+        # converts the exhausted budget into DeadlineExceeded.
+        with pytest.raises(DeadlineExceeded):
+            policy.call(always_fails, site="build", deadline=dl)
+        assert policy.delays == [1.0]
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_backoff_cap_uses_the_ambient_deadline(self):
+        clock = ManualClock()
+        dl = Deadline(0.5, clock=clock)
+        policy = RetryPolicy(
+            max_attempts=2,
+            base_delay=10.0,
+            max_delay=10.0,
+            jitter=0.0,
+            seed=0,
+            sleeper=clock.advance,
+            retry_on=(OSError,),
+        )
+        with deadline_scope(dl):
+            with pytest.raises(DeadlineExceeded):
+                policy.call(lambda: (_ for _ in ()).throw(OSError("x")))
+        assert policy.delays == [0.5]
+        assert clock.now() == pytest.approx(0.5)
+
 
 class TestCircuitBreaker:
     def test_opens_after_threshold_and_half_opens_after_cooldown(self):
@@ -290,6 +332,44 @@ class TestCircuitBreaker:
         with pytest.raises(SynopsisUnavailable):
             policy.call(never_called, site="build", breaker=breaker)
         assert calls["n"] == 0
+
+    def test_reopen_does_not_count_an_ordinary_failure(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=1)
+        breaker.record_failure()
+        breaker.allow()  # closed: allowed, failure count stands at 1
+        breaker.reopen()
+        assert breaker.state == "open"
+        assert breaker.times_opened == 1
+        assert breaker.total_failures == 1
+        assert breaker.consecutive_failures == 1
+
+    def test_aborted_half_open_probe_reopens_without_a_failure(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        breaker.allow()  # cooldown rejection -> half_open
+        assert breaker.state == "half_open"
+
+        calls = {"n": 0}
+
+        def probe_blows_deadline():
+            calls["n"] += 1
+            raise DeadlineExceeded("probe aborted", site="probe")
+
+        policy = RetryPolicy(max_attempts=3, seed=0, retry_on=(OSError,))
+        with pytest.raises(DeadlineExceeded):
+            policy.call(
+                probe_blows_deadline, site="build", breaker=breaker
+            )
+        # the deadline abort consumed no retries ...
+        assert calls["n"] == 1
+        assert policy.delays == []
+        # ... and the breaker is back to open — but the abort was not
+        # recorded as an observed failure (the probe's health is unknown)
+        assert breaker.state == "open"
+        assert breaker.total_failures == 2
+        assert breaker.times_opened == 2
 
 
 # ----------------------------------------------------------------------

@@ -70,6 +70,45 @@ class TestAccounting:
         k2 = SynopsisCache.make_key(t, "demo", ("c",), {"b": 2, "a": 1})
         assert k1 == k2
 
+    def test_shard_id_disambiguates_fingerprint_collisions(self):
+        # The fingerprint probes 64 evenly spaced rows, so two
+        # equal-length tables with the same name that differ only at an
+        # unprobed row — exactly what two shards of one parent look like
+        # — can collide on content address alone. The shard id in the
+        # key is what keeps their synopses apart.
+        x = np.arange(4096, dtype=np.float64)
+        y = x.copy()
+        y[1] = -1.0  # row 1 is never probed at this length
+        a = Table({"v": x}, name="events")
+        b = Table({"v": y}, name="events")
+        assert a.fingerprint() == b.fingerprint()  # the collision is real
+        assert SynopsisCache.make_key(a, "sample") == SynopsisCache.make_key(
+            b, "sample"
+        )
+        k0 = SynopsisCache.make_key(a, "sample", shard=0)
+        k1 = SynopsisCache.make_key(b, "sample", shard=1)
+        assert k0 != k1
+        cache = SynopsisCache()
+        cache.put(k0, "shard-0-sample", nbytes=1)
+        cache.put(k1, "shard-1-sample", nbytes=1)
+        assert cache.get(k0) == "shard-0-sample"
+        assert cache.get(k1) == "shard-1-sample"
+
+    def test_get_or_build_threads_the_shard_id(self):
+        cache = SynopsisCache()
+        t = grouped_table(name="events")
+        built = []
+        for shard in (0, 1, 0):
+            cache.get_or_build(
+                t,
+                kind="sample",
+                builder=lambda shard=shard: built.append(shard) or shard,
+                nbytes=1,
+                shard=shard,
+            )
+        # one build per shard id; the repeat of shard 0 was a cache hit
+        assert built == [0, 1]
+
 
 class TestEviction:
     def _key(self, cache, t, i):
