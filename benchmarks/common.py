@@ -44,6 +44,7 @@ CACHE_RELEVANT = {
 SMOKE_SET = [
     "bench_p01_sketch_ingest",
     "bench_p02_scatter_gather",
+    "bench_p03_fused_pipeline",
     "bench_e10_sample_seek",
     "bench_e13_ola",
 ]
@@ -143,10 +144,13 @@ def _run_pytest_once(path: str) -> Dict[str, object]:
     """
     import pytest
 
+    from repro.engine.kernel_cache import get_kernel_cache
     from repro.storage.synopsis_cache import get_global_cache
 
     cache = get_global_cache()
     cache.stats.reset()
+    kernel_cache = get_kernel_cache()
+    kernel_cache.stats.reset()
     buf = io.StringIO()
     start = time.perf_counter()
     with contextlib.redirect_stdout(buf):
@@ -158,6 +162,7 @@ def _run_pytest_once(path: str) -> Dict[str, object]:
         "exit_code": int(code),
         "wall_s": wall,
         "cache": cache.stats.as_dict(),
+        "kernel_cache": kernel_cache.stats.as_dict(),
         "output_tail": buf.getvalue()[-2000:],
     }
 
@@ -178,6 +183,7 @@ def _run_experiment(path: str) -> Dict[str, object]:
         "status": "ok" if cold["exit_code"] == 0 else "failed",
         "cold_wall_s": round(cold["wall_s"], 4),
         "cold_cache": cold["cache"],
+        "kernel_cache": cold["kernel_cache"],
         "metrics": _consume_metrics(name),
     }
     if cold["exit_code"] != 0:
@@ -273,7 +279,29 @@ def compare_results(
                 problems.append(
                     f"{name}: warm run no longer hits the synopsis cache"
                 )
+        if name == "bench_p03_fused_pipeline":
+            problems.extend(_check_p03(exp, prev))
     return problems
+
+
+def _check_p03(exp: Dict[str, object], prev: Dict[str, object]) -> List[str]:
+    """Fused-pipeline claim guard: the measured speedup must not halve.
+
+    The generic wall-time check above catches suite-level blowups; this
+    one catches the targeted regression — the fused path quietly losing
+    its edge over the materializing reference — even when absolute wall
+    times stay inside the 2x envelope.
+    """
+    new_pipe = (exp.get("metrics") or {}).get("pipeline") or {}
+    old_pipe = (prev.get("metrics") or {}).get("pipeline") or {}
+    new_speedup = float(new_pipe.get("speedup", 0.0))
+    old_speedup = float(old_pipe.get("speedup", 0.0))
+    if old_speedup > 0 and new_speedup < old_speedup / 2.0:
+        return [
+            f"bench_p03_fused_pipeline: fused speedup {new_speedup:.2f}x "
+            f"fell below half the baseline {old_speedup:.2f}x"
+        ]
+    return []
 
 
 def check_against_baseline(

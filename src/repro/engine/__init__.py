@@ -3,7 +3,15 @@
 from .aggregates import AggregateSpec
 from .database import Database
 from .executor import ExecutionStats, Executor
-from .expressions import col
+from .expressions import col, compile_expression
+from .fused import SliceRelation, extract_chain
+from .kernel_cache import (
+    KernelCache,
+    KernelCacheStats,
+    configure_kernel_cache,
+    get_kernel_cache,
+    set_kernel_cache,
+)
 from .plan import (
     Filter,
     GroupByAggregate,
@@ -15,7 +23,7 @@ from .plan import (
     Scan,
     UnionAll,
 )
-from .table import Table
+from .table import Table, TableAllocationProbe, count_table_allocations
 
 __all__ = [
     "AggregateSpec",
@@ -25,12 +33,22 @@ __all__ = [
     "Filter",
     "GroupByAggregate",
     "HashJoin",
+    "KernelCache",
+    "KernelCacheStats",
     "Limit",
     "OrderBy",
     "Project",
     "SampleClause",
     "Scan",
+    "SliceRelation",
     "Table",
+    "TableAllocationProbe",
     "UnionAll",
     "col",
+    "compile_expression",
+    "configure_kernel_cache",
+    "count_table_allocations",
+    "extract_chain",
+    "get_kernel_cache",
+    "set_kernel_cache",
 ]

@@ -74,6 +74,115 @@ class AggregateSpec:
 # Group encoding
 # ----------------------------------------------------------------------
 
+#: Integer-like dtype kinds eligible for the packed-int64 fast path.
+_INT_KINDS = frozenset("iub")
+
+#: Packed codes must stay comfortably inside int64; leave headroom so the
+#: per-column span products can be checked with exact Python ints.
+_PACK_LIMIT = 2 ** 62
+
+
+def _integer_pack(key_arrays: Sequence[np.ndarray]) -> Optional[Tuple[np.ndarray, List[int], List[int]]]:
+    """Try to pack integer key columns into one int64 code per row.
+
+    Returns ``(packed, mins, spans)`` or ``None`` when any column is
+    non-integer or the combined span would overflow int64. Packing uses
+    ``(arr - min) * multiplier`` with the rightmost column varying
+    fastest, so the packed codes sort in the same lexicographic order as
+    the raw values — group ids come out identical to the generic
+    rank-based encoding.
+    """
+    mins: List[int] = []
+    spans: List[int] = []
+    casted: List[np.ndarray] = []
+    for arr in key_arrays:
+        if arr.dtype.kind not in _INT_KINDS:
+            return None
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if hi - lo + 1 > _PACK_LIMIT:
+            return None
+        mins.append(lo)
+        spans.append(hi - lo + 1)
+        casted.append(arr)
+    capacity = 1
+    for span in spans:
+        capacity *= span
+        if capacity > _PACK_LIMIT:
+            return None
+    packed = np.zeros(len(key_arrays[0]), dtype=np.int64)
+    multiplier = 1
+    for arr, lo, span in zip(reversed(casted), reversed(mins), reversed(spans)):
+        packed += (arr.astype(np.int64) - lo) * multiplier
+        multiplier *= span
+    return packed, mins, spans
+
+
+def encode_groups_arrays(
+    key_arrays: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Map composite keys to dense group ids, columnar key output.
+
+    Returns ``(group_ids, key_columns)`` where ``key_columns[pos][g]`` is
+    the value of key column ``pos`` for group ``g``. This is the kernel
+    behind :func:`encode_groups`; the fused executor uses it directly so
+    grouped aggregation never builds per-row (or even per-group) Python
+    tuples.
+
+    Fast paths:
+
+    * a single key column of any dtype goes straight through
+      ``np.unique(..., return_inverse=True)``;
+    * composite keys whose columns are all integer/bool dtypes are packed
+      into one int64 code per row (span-based, order-preserving) so a
+      single ``np.unique`` call replaces per-column factorization.
+
+    Both fast paths produce group ids and key values identical to the
+    generic rank-based encoding (the property test in
+    ``tests/test_fused_executor.py`` fuzzes this equivalence).
+    """
+    if not key_arrays:
+        raise PlanError("encode_groups requires at least one key array")
+    key_arrays = [np.asarray(arr) for arr in key_arrays]
+    n = len(key_arrays[0])
+    if n == 0:
+        return np.array([], dtype=np.int64), [
+            np.array([], dtype=arr.dtype) for arr in key_arrays
+        ]
+    if len(key_arrays) == 1:
+        uniques, inverse = np.unique(key_arrays[0], return_inverse=True)
+        return inverse.astype(np.int64), [uniques]
+    packed = _integer_pack(key_arrays)
+    if packed is not None:
+        codes, mins, spans = packed
+        uniq_codes, inverse = np.unique(codes, return_inverse=True)
+        key_columns: List[np.ndarray] = [None] * len(key_arrays)  # type: ignore[list-item]
+        rem = uniq_codes
+        for pos in range(len(key_arrays) - 1, -1, -1):
+            rem, offs = np.divmod(rem, spans[pos])
+            key_columns[pos] = (offs + mins[pos]).astype(key_arrays[pos].dtype)
+        return inverse.astype(np.int64), key_columns
+    # Generic path: factorize each key column, then combine the rank codes.
+    codes_list = []
+    levels = []
+    for arr in key_arrays:
+        uniq, inv = np.unique(arr, return_inverse=True)
+        codes_list.append(inv.astype(np.int64))
+        levels.append(uniq)
+    combined = np.zeros(n, dtype=np.int64)
+    multiplier = 1
+    for code, uniq in zip(reversed(codes_list), reversed(levels)):
+        combined += code * multiplier
+        multiplier *= len(uniq)
+    uniq_combined, inverse = np.unique(combined, return_inverse=True)
+    key_columns = [None] * len(key_arrays)  # type: ignore[list-item]
+    rem = uniq_combined
+    for pos in range(len(key_arrays) - 1, -1, -1):
+        rem, idx = np.divmod(rem, len(levels[pos]))
+        key_columns[pos] = levels[pos][idx]
+    return inverse.astype(np.int64), key_columns
+
+
 def encode_groups(key_arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[Tuple]]:
     """Map composite keys to dense group ids.
 
@@ -81,38 +190,17 @@ def encode_groups(key_arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[Tu
     ``key_tuples``. Keys are ordered by first appearance is *not* guaranteed;
     they follow numpy's sort order, which is fine because SQL group order is
     unspecified.
+
+    This is the tuple-producing facade over :func:`encode_groups_arrays`
+    (which callers on hot paths should prefer — it skips building Python
+    tuples entirely).
     """
-    if not key_arrays:
-        raise PlanError("encode_groups requires at least one key array")
-    n = len(key_arrays[0])
-    if n == 0:
-        return np.array([], dtype=np.int64), []
-    if len(key_arrays) == 1:
-        uniques, inverse = np.unique(key_arrays[0], return_inverse=True)
-        return inverse.astype(np.int64), [(u,) for u in uniques.tolist()]
-    # Composite key: factorize each key column, then combine the codes.
-    codes = []
-    levels = []
-    for arr in key_arrays:
-        uniq, inv = np.unique(arr, return_inverse=True)
-        codes.append(inv.astype(np.int64))
-        levels.append(uniq)
-    combined = np.zeros(n, dtype=np.int64)
-    multiplier = 1
-    for code, uniq in zip(reversed(codes), reversed(levels)):
-        combined += code * multiplier
-        multiplier *= len(uniq)
-    uniq_combined, inverse = np.unique(combined, return_inverse=True)
-    # Decode combined ids back into key tuples.
-    key_tuples: List[Tuple] = []
-    for cid in uniq_combined.tolist():
-        parts = []
-        rem = cid
-        for uniq in reversed(levels):
-            rem, idx = divmod(rem, len(uniq))
-            parts.append(uniq[idx])
-        key_tuples.append(tuple(reversed(parts)))
-    return inverse.astype(np.int64), key_tuples
+    group_ids, key_columns = encode_groups_arrays(key_arrays)
+    if len(group_ids) == 0:
+        return group_ids, []
+    if len(key_columns) == 1:
+        return group_ids, [(u,) for u in key_columns[0].tolist()]
+    return group_ids, list(zip(*key_columns))
 
 
 # ----------------------------------------------------------------------
@@ -173,11 +261,18 @@ def grouped_count_distinct(
     return np.bincount(g[new_pair], minlength=num_groups).astype(np.float64)
 
 
-def compute_aggregate(spec: AggregateSpec, table: Table) -> float:
-    """Ungrouped (scalar) aggregate over a table."""
-    values = spec.input_values(table)
+def compute_aggregate_values(
+    spec: AggregateSpec, values: Optional[np.ndarray], num_rows: int
+) -> float:
+    """Ungrouped (scalar) aggregate over a value vector.
+
+    ``values`` may be ``None`` only for plain COUNT, which needs just the
+    row count. This is the kernel behind :func:`compute_aggregate`; the
+    fused executor calls it directly on masked column views so no Table
+    wrapper is ever allocated.
+    """
     if spec.func == "count":
-        return float(table.num_rows)
+        return float(num_rows)
     if spec.func == "count_distinct":
         return float(len(np.unique(values)))
     vals = np.asarray(values, dtype=np.float64)
@@ -198,14 +293,23 @@ def compute_aggregate(spec: AggregateSpec, table: Table) -> float:
     raise PlanError(f"unreachable aggregate {spec.func!r}")
 
 
-def compute_grouped_aggregate(
+def compute_aggregate(spec: AggregateSpec, table: Table) -> float:
+    """Ungrouped (scalar) aggregate over a table."""
+    values = None if spec.func == "count" else spec.input_values(table)
+    return compute_aggregate_values(spec, values, table.num_rows)
+
+
+def compute_grouped_aggregate_values(
     spec: AggregateSpec,
-    table: Table,
+    values: Optional[np.ndarray],
     group_ids: np.ndarray,
     num_groups: int,
 ) -> np.ndarray:
-    """Per-group aggregate values aligned with group ids 0..num_groups-1."""
-    values = spec.input_values(table)
+    """Per-group aggregates over a value vector aligned with ``group_ids``.
+
+    ``values`` may be ``None`` only for plain COUNT. Kernel behind
+    :func:`compute_grouped_aggregate`, shared with the fused executor.
+    """
     if spec.func == "count":
         return grouped_count(group_ids, num_groups)
     if spec.func == "count_distinct":
@@ -226,3 +330,14 @@ def compute_grouped_aggregate(
     if spec.func == "stddev":
         return np.sqrt(grouped_var(group_ids, values, num_groups))
     raise PlanError(f"unreachable aggregate {spec.func!r}")
+
+
+def compute_grouped_aggregate(
+    spec: AggregateSpec,
+    table: Table,
+    group_ids: np.ndarray,
+    num_groups: int,
+) -> np.ndarray:
+    """Per-group aggregate values aligned with group ids 0..num_groups-1."""
+    values = None if spec.func == "count" else spec.input_values(table)
+    return compute_grouped_aggregate_values(spec, values, group_ids, num_groups)

@@ -32,6 +32,17 @@ from .aggregates import (
     encode_groups,
 )
 from .expressions import Expression
+from .fused import (
+    FusedChain,
+    apply_steps,
+    chain_signature,
+    compile_chain,
+    extract_chain,
+    materialize_relation,
+    run_prepared_aggregate,
+    scan_relation,
+)
+from .kernel_cache import get_kernel_cache
 from .plan import (
     Filter,
     GroupByAggregate,
@@ -111,7 +122,8 @@ class Executor:
 
     def __init__(self, database, seed: Optional[int] = None,
                  cost_params: CostParameters = DEFAULT_COST,
-                 deadline=None, budget=None) -> None:
+                 deadline=None, budget=None,
+                 fused: bool = True, kernel_cache=None) -> None:
         from ..resilience.deadline import resolve_budget, resolve_deadline
 
         self.database = database
@@ -119,6 +131,11 @@ class Executor:
         self.cost_params = cost_params
         self.deadline = resolve_deadline(deadline)
         self.budget = resolve_budget(budget)
+        #: When True (default), Filter/Project/GroupByAggregate chains run
+        #: through the fused zero-copy pipeline; the materializing path
+        #: below is kept verbatim as the differential-testing reference.
+        self.fused = fused
+        self.kernel_cache = kernel_cache if kernel_cache is not None else get_kernel_cache()
 
     def execute(self, plan: PlanNode) -> Tuple[Table, ExecutionStats]:
         stats = ExecutionStats()
@@ -132,6 +149,10 @@ class Executor:
             self.deadline.check(site=f"executor.{type(node).__name__}")
 
     def _run(self, node: PlanNode, stats: ExecutionStats) -> Table:
+        if self.fused:
+            chain = extract_chain(node)
+            if chain is not None:
+                return self._run_fused(chain, stats)
         self._checkpoint(node)
         if isinstance(node, Scan):
             return self._run_scan(node, stats)
@@ -172,10 +193,25 @@ class Executor:
         from ..resilience.faults import maybe_fault
 
         maybe_fault("executor.scan")  # chaos: slow blocks burn the clock here
-        if node.sample is None:
-            result, access = blockio.full_scan(table)
-        else:
-            result, access = self._sampled_scan(table, node.sample)
+        selection = self._scan_selection(table, node.sample)
+        result = blockio.materialize_selection(selection)
+        self._account_scan(node, selection.access, total_blocks, stats)
+        if node.alias is not None:
+            # Qualified output names let the SQL layer join a table with
+            # itself and disambiguate columns across tables.
+            result = result.rename(
+                {c: f"{node.alias}.{c}" for c in result.column_names}
+            )
+        return result
+
+    def _account_scan(
+        self,
+        node: Scan,
+        access: blockio.AccessStats,
+        total_blocks: int,
+        stats: ExecutionStats,
+    ) -> None:
+        """Shared scan accounting — identical for both execution modes."""
         stats.record_scan(node.table_name, access, total_blocks)
         if self.budget is not None:
             self.budget.charge(
@@ -185,17 +221,15 @@ class Executor:
             )
         if self.deadline is not None:
             self.deadline.check(site=f"scan:{node.table_name}")
-        if node.alias is not None:
-            # Qualified output names let the SQL layer join a table with
-            # itself and disambiguate columns across tables.
-            result = result.rename(
-                {c: f"{node.alias}.{c}" for c in result.column_names}
-            )
-        return result
 
-    def _sampled_scan(
-        self, table: Table, sample: SampleClause
-    ) -> Tuple[Table, blockio.AccessStats]:
+    def _scan_selection(
+        self, table: Table, sample: Optional[SampleClause]
+    ) -> blockio.ScanSelection:
+        """Row selection for a scan; consumes ``self.rng`` identically in
+        both execution modes (selection, not materialization, is where the
+        randomness lives)."""
+        if sample is None:
+            return blockio.full_selection(table)
         rng = (
             np.random.default_rng(sample.seed)
             if sample.seed is not None
@@ -205,19 +239,62 @@ class Executor:
         nb = table.num_blocks
         if sample.method == "bernoulli_rows":
             mask = rng.random(n) < sample.rate
-            return blockio.row_sample_scan(table, np.flatnonzero(mask))
+            return blockio.row_sample_selection(table, np.flatnonzero(mask))
         if sample.method == "system_blocks":
             mask = rng.random(nb) < sample.rate
-            return blockio.block_sample_scan(table, np.flatnonzero(mask))
+            return blockio.block_sample_selection(table, np.flatnonzero(mask))
         if sample.method == "fixed_rows":
             size = min(sample.size, n)
             idx = rng.choice(n, size=size, replace=False) if size else np.array([], dtype=np.int64)
-            return blockio.row_sample_scan(table, np.sort(idx))
+            return blockio.row_sample_selection(table, np.sort(idx))
         if sample.method == "fixed_blocks":
             size = min(sample.size, nb)
             ids = rng.choice(nb, size=size, replace=False) if size else np.array([], dtype=np.int64)
-            return blockio.block_sample_scan(table, ids)
+            return blockio.block_sample_selection(table, ids)
         raise PlanError(f"unknown sampling method {sample.method!r}")
+
+    def _sampled_scan(
+        self, table: Table, sample: SampleClause
+    ) -> Tuple[Table, blockio.AccessStats]:
+        selection = self._scan_selection(table, sample)
+        return blockio.materialize_selection(selection), selection.access
+
+    # ------------------------------------------------------------------
+    def _run_fused(self, chain: FusedChain, stats: ExecutionStats) -> Table:
+        """Execute a fused chain: one pass, zero intermediate Tables.
+
+        Accounting, fault-injection arrivals, RNG consumption and
+        deadline-check sites replay the materializing recursion exactly;
+        only the copies are gone.
+        """
+        for plan_node in chain.nodes_top_down:
+            self._checkpoint(plan_node)
+        node = chain.scan
+        table = self.database.table(node.table_name)
+        scan_columns = table.column_names
+        if node.columns is not None:
+            missing = [c for c in node.columns if c not in table]
+            if missing:
+                raise SchemaError(
+                    f"columns {missing} not in table {node.table_name!r}"
+                )
+            scan_columns = list(node.columns)
+        total_blocks = table.num_blocks
+        from ..resilience.faults import maybe_fault
+
+        maybe_fault("executor.scan")  # chaos: same site as the materializing scan
+        selection = self._scan_selection(table, node.sample)
+        self._account_scan(node, selection.access, total_blocks, stats)
+        key = (table.fingerprint(), chain_signature(chain))
+        prepared = self.kernel_cache.get_or_compile(
+            key, lambda: compile_chain(chain)
+        )
+        rel = scan_relation(table, scan_columns, selection, node.alias)
+        rel = apply_steps(prepared, rel)
+        if prepared.aggregate is not None:
+            stats.agg_input_rows += rel.num_rows
+            return run_prepared_aggregate(prepared, rel)
+        return materialize_relation(rel, table.name, table.block_size)
 
     # ------------------------------------------------------------------
     def _run_join(self, node: HashJoin, stats: ExecutionStats) -> Table:

@@ -484,6 +484,150 @@ def col(name: str) -> Column:
     return Column(name)
 
 
+def compile_expression(expr: Expression) -> Callable[[Table], np.ndarray]:
+    """Compile an expression tree into a single closure.
+
+    The returned callable evaluates against any relation offering
+    ``__getitem__(name)`` and ``num_rows`` — a :class:`Table` or one of
+    the fused executor's lazy relation views — and produces output
+    bit-identical to ``expr.evaluate`` (each node's compiled form runs
+    the exact numpy operations of its ``evaluate``). Compiling flattens
+    the per-row-batch cost of tree dispatch into plain function calls;
+    the kernel cache memoizes the result per plan signature so repeated
+    query shapes skip the tree walk entirely.
+
+    Unknown :class:`Expression` subclasses fall back to their own
+    ``evaluate`` — compilation is an optimization, never a semantics
+    fork.
+    """
+    if isinstance(expr, Column):
+        name = expr.name
+
+        def _column(rel, _name=name):
+            return rel[_name]
+
+        return _column
+    if isinstance(expr, Literal):
+        value = expr.value
+        if isinstance(value, str):
+
+            def _str_literal(rel, _value=value):
+                out = np.empty(rel.num_rows, dtype=object)
+                out[:] = _value
+                return out
+
+            return _str_literal
+
+        def _literal(rel, _value=value):
+            return np.full(rel.num_rows, _value)
+
+        return _literal
+    if isinstance(expr, BinaryOp):
+        left = compile_expression(expr.left)
+        right = compile_expression(expr.right)
+        if expr.op == "/":
+
+            def _divide(rel, _l=left, _r=right):
+                lhs = np.asarray(_l(rel), dtype=np.float64)
+                rhs = np.asarray(_r(rel), dtype=np.float64)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    return np.where(rhs == 0, np.nan, lhs / np.where(rhs == 0, 1, rhs))
+
+            return _divide
+        op_fn = _ARITH[expr.op]
+
+        def _arith(rel, _l=left, _r=right, _op=op_fn):
+            return _op(_l(rel), _r(rel))
+
+        return _arith
+    if isinstance(expr, UnaryOp):
+        operand = compile_expression(expr.operand)
+
+        def _negate(rel, _o=operand):
+            return -_o(rel)
+
+        return _negate
+    if isinstance(expr, Comparison):
+        left = compile_expression(expr.left)
+        right = compile_expression(expr.right)
+        cmp_fn = _CMP[expr.op]
+
+        def _compare(rel, _l=left, _r=right, _op=cmp_fn):
+            return np.asarray(_op(_l(rel), _r(rel)), dtype=bool)
+
+        return _compare
+    if isinstance(expr, BooleanOp):
+        operands = [compile_expression(o) for o in expr.operands]
+        is_and = expr.op == "AND"
+
+        def _boolean(rel, _ops=operands, _and=is_and):
+            result = np.asarray(_ops[0](rel), dtype=bool)
+            for operand_fn in _ops[1:]:
+                mask = np.asarray(operand_fn(rel), dtype=bool)
+                result = result & mask if _and else result | mask
+            return result
+
+        return _boolean
+    if isinstance(expr, NotOp):
+        operand = compile_expression(expr.operand)
+
+        def _not(rel, _o=operand):
+            return ~np.asarray(_o(rel), dtype=bool)
+
+        return _not
+    if isinstance(expr, InList):
+        operand = compile_expression(expr.operand)
+        values = list(expr.values)
+
+        def _in_list(rel, _o=operand, _values=values):
+            arr = _o(rel)
+            if len(_values) == 0:
+                return np.zeros(len(arr), dtype=bool)
+            return np.isin(
+                arr,
+                np.asarray(
+                    _values, dtype=arr.dtype if arr.dtype != object else object
+                ),
+            )
+
+        return _in_list
+    if isinstance(expr, Between):
+        operand = compile_expression(expr.operand)
+        low = compile_expression(expr.low)
+        high = compile_expression(expr.high)
+
+        def _between(rel, _o=operand, _lo=low, _hi=high):
+            arr = _o(rel)
+            return np.asarray((arr >= _lo(rel)) & (arr <= _hi(rel)), dtype=bool)
+
+        return _between
+    if isinstance(expr, CaseWhen):
+        branches = [
+            (compile_expression(cond), compile_expression(value))
+            for cond, value in expr.branches
+        ]
+        default = compile_expression(expr.default)
+
+        def _case(rel, _branches=branches, _default=default):
+            result = np.asarray(_default(rel), dtype=np.float64)
+            for cond_fn, value_fn in reversed(_branches):
+                mask = np.asarray(cond_fn(rel), dtype=bool)
+                vals = np.asarray(value_fn(rel), dtype=np.float64)
+                result = np.where(mask, vals, result)
+            return result
+
+        return _case
+    if isinstance(expr, FunctionCall):
+        args = [compile_expression(a) for a in expr.args]
+        fn = _FUNCTIONS[expr.func_name]
+
+        def _function(rel, _args=args, _fn=fn):
+            return _fn(*[a(rel) for a in _args])
+
+        return _function
+    return expr.evaluate
+
+
 def walk(expr: Expression) -> Iterable[Expression]:
     """Pre-order traversal of an expression tree."""
     yield expr

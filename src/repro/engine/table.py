@@ -9,6 +9,7 @@ row ranges (see :mod:`repro.storage.blocks`).
 from __future__ import annotations
 
 import hashlib
+from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,12 +62,18 @@ class Table:
 
     __slots__ = ("_columns", "name", "block_size", "_fingerprint_cache")
 
+    #: Monotonic count of Table constructions in this process. The fused
+    #: executor's "zero intermediate Tables" guarantee is asserted against
+    #: deltas of this counter (see :func:`count_table_allocations`).
+    _allocations: int = 0
+
     def __init__(
         self,
         columns: Mapping[str, Iterable],
         name: str = "",
         block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
+        Table._allocations += 1
         if block_size <= 0:
             raise SchemaError("block_size must be positive")
         self._columns: Dict[str, np.ndarray] = {}
@@ -128,11 +135,41 @@ class Table:
     # Derivation
     # ------------------------------------------------------------------
     def take(self, indices: np.ndarray, name: Optional[str] = None) -> "Table":
-        """Row subset/reorder by integer indices or boolean mask."""
+        """Row subset/reorder by integer indices or boolean mask.
+
+        Exactly two selector forms are accepted, and they are
+        distinguished by dtype, never by length:
+
+        * **boolean mask** — must have exactly ``num_rows`` entries; rows
+          where the mask is True are kept, in table order (the Filter and
+          HAVING call sites).
+        * **integer index array** — any length; rows are gathered in the
+          given order, duplicates and reordering allowed (the sampling
+          and ORDER BY call sites). Empty arrays of any dtype are
+          treated as an empty integer selector.
+
+        Any other dtype (e.g. a float array that "looks like" indices)
+        raises :class:`SchemaError` so mask-vs-index semantics can never
+        silently diverge at a call site.
+        """
         indices = np.asarray(indices)
+        if indices.ndim != 1:
+            raise SchemaError(
+                f"take() selector must be 1-D, got shape {indices.shape}"
+            )
         if indices.dtype == bool:
             if len(indices) != self.num_rows:
-                raise SchemaError("boolean mask length mismatch")
+                raise SchemaError(
+                    f"boolean mask length {len(indices)} != rows {self.num_rows}"
+                )
+        elif indices.dtype.kind not in ("i", "u"):
+            if indices.size == 0:
+                indices = indices.astype(np.int64)
+            else:
+                raise SchemaError(
+                    "take() selector must be a boolean mask or integer "
+                    f"indices, got dtype {indices.dtype}"
+                )
         return Table(
             {k: v[indices] for k, v in self._columns.items()},
             name=name if name is not None else self.name,
@@ -318,3 +355,29 @@ class Table:
             f"Table(name={self.name!r}, rows={self.num_rows}, "
             f"cols={self.column_names})"
         )
+
+
+class TableAllocationProbe:
+    """Handle yielded by :func:`count_table_allocations`."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self, start: int) -> None:
+        self._start = start
+
+    @property
+    def count(self) -> int:
+        """Tables constructed since the probe was opened."""
+        return Table._allocations - self._start
+
+
+@contextmanager
+def count_table_allocations() -> Iterator[TableAllocationProbe]:
+    """Count Table constructions inside a ``with`` block.
+
+    The counter is process-global and monotonic, so the probe is a pure
+    observer — nesting probes or running them around arbitrary engine
+    code has no side effects. The differential tests use this to assert
+    the fused executor's zero-intermediate-Table property.
+    """
+    yield TableAllocationProbe(Table._allocations)

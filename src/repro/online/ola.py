@@ -68,19 +68,59 @@ class OnlineAggregator:
         if agg != "count" and value_column is None:
             raise PlanError(f"{agg} requires a value column")
         self.table = table
-        self.agg = agg
-        self.confidence = confidence
-        rng = np.random.default_rng(seed)
-        self._order = rng.permutation(table.num_rows)
         values = (
             np.asarray(table[value_column], dtype=np.float64)
             if value_column is not None
             else np.ones(table.num_rows)
         )
+        self._init_state(values, predicate_mask, agg, confidence, seed)
+
+    @classmethod
+    def from_values(
+        cls,
+        values: np.ndarray,
+        agg: str = "sum",
+        predicate_mask: Optional[np.ndarray] = None,
+        confidence: float = 0.95,
+        seed: Optional[int] = None,
+    ) -> "OnlineAggregator":
+        """Build an aggregator directly from a value vector.
+
+        Identical in behaviour (including RNG consumption, so snapshots
+        are bitwise-equal) to wrapping the vector in a one-column Table —
+        minus the Table allocation. This is the entry point the fused
+        sharded/degradation paths use for their partial-OLA answers.
+        """
+        if agg not in ("sum", "avg", "count"):
+            raise PlanError(f"OLA supports sum/avg/count, not {agg!r}")
+        self = cls.__new__(cls)
+        self.table = None
+        self._init_state(
+            np.asarray(values, dtype=np.float64),
+            predicate_mask,
+            agg,
+            confidence,
+            seed,
+        )
+        return self
+
+    def _init_state(
+        self,
+        values: np.ndarray,
+        predicate_mask: Optional[np.ndarray],
+        agg: str,
+        confidence: float,
+        seed: Optional[int],
+    ) -> None:
+        self.agg = agg
+        self.confidence = confidence
+        n = len(values)
+        rng = np.random.default_rng(seed)
+        self._order = rng.permutation(n)
         mask = (
             np.asarray(predicate_mask, dtype=bool)
             if predicate_mask is not None
-            else np.ones(table.num_rows, dtype=bool)
+            else np.ones(n, dtype=bool)
         )
         # Pre-permute so iteration is just slicing a prefix, and keep
         # running moments so every snapshot is O(1) instead of O(prefix):
@@ -88,7 +128,7 @@ class OnlineAggregator:
         # of the prefix, all of which cumulative sums provide directly.
         self._values = np.where(mask, values, 0.0)[self._order]
         self._matches = mask[self._order].astype(np.float64)
-        self._population = table.num_rows
+        self._population = n
         self._cum_v = np.cumsum(self._values)
         self._cum_v2 = np.cumsum(self._values * self._values)
         self._cum_m = np.cumsum(self._matches)

@@ -63,13 +63,34 @@ class RippleJoin:
         right_measure: Optional[str] = None,
         confidence: float = 0.95,
         seed: Optional[int] = None,
+        left_mask: Optional[np.ndarray] = None,
+        right_mask: Optional[np.ndarray] = None,
     ) -> None:
         rng = np.random.default_rng(seed)
         self.confidence = confidence
-        self.n_left = left.num_rows
-        self.n_right = right.num_rows
+        # Optional per-side predicate masks: the ripple runs over only the
+        # selected rows. Composing the selection into the permutation
+        # (``sel[perm]``) is bitwise-identical to pre-compacting the
+        # tables with ``take(flatnonzero(mask))`` under the same seed,
+        # but gathers two columns per side instead of copying them all.
+        lsel = (
+            np.flatnonzero(np.asarray(left_mask, dtype=bool))
+            if left_mask is not None
+            else None
+        )
+        rsel = (
+            np.flatnonzero(np.asarray(right_mask, dtype=bool))
+            if right_mask is not None
+            else None
+        )
+        self.n_left = left.num_rows if lsel is None else len(lsel)
+        self.n_right = right.num_rows if rsel is None else len(rsel)
         lo = rng.permutation(self.n_left)
         ro = rng.permutation(self.n_right)
+        if lsel is not None:
+            lo = lsel[lo]
+        if rsel is not None:
+            ro = rsel[ro]
         self._lkeys = left[left_key][lo]
         self._rkeys = right[right_key][ro]
         self._lvals = (

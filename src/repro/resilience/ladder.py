@@ -66,6 +66,7 @@ from ..core.exceptions import (
 )
 from ..core.result import ApproximateResult, QueryResult
 from ..engine.executor import ExecutionStats
+from ..engine.fused import SliceRelation
 from ..engine.optimizer import optimize_plan
 from ..engine.table import Table
 from ..offline.catalog import SynopsisCatalog
@@ -475,8 +476,9 @@ class ResilientEngine:
         base = self.database.table(target.name)
         if base.num_rows == 0:
             raise UnsupportedQueryError("empty table")
-        qualified = base.rename(
-            {c: f"{target.alias}.{c}" for c in base.column_names}
+        qualified = SliceRelation(
+            base, 0, base.num_rows,
+            {c: f"{target.alias}.{c}" for c in base.column_names},
         )
         mask = (
             np.asarray(bound.where.evaluate(qualified), dtype=bool)
@@ -484,9 +486,11 @@ class ResilientEngine:
             else None
         )
         values = np.asarray(agg.input_values(qualified), dtype=np.float64)
-        ola = OnlineAggregator(
-            Table({"v": values}, name=target.name),
-            "v" if agg.func != "count" else None,
+        # COUNT used to pass value_column=None (expanded internally to
+        # all-ones); hand from_values the same vector so snapshots stay
+        # bitwise-identical, minus the wrapper-Table allocation.
+        ola = OnlineAggregator.from_values(
+            values if agg.func != "count" else np.ones(base.num_rows),
             agg=agg.func,
             predicate_mask=mask,
             confidence=spec.confidence,

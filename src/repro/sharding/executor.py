@@ -48,7 +48,7 @@ import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +65,9 @@ from ..core.exceptions import (
 from ..core.result import ApproximateResult, QueryResult
 from ..engine.aggregates import AggregateSpec
 from ..engine.executor import ExecutionStats
-from ..engine.expressions import Column
+from ..engine.expressions import Column, compile_expression
+from ..engine.fused import SliceRelation
+from ..engine.kernel_cache import get_kernel_cache
 from ..engine.table import Table
 from ..online.ola import OnlineAggregator
 from ..resilience.deadline import (
@@ -88,6 +90,35 @@ SCATTER_RUNG = "scatter_gather"
 
 class _StragglerAbandoned(ReproError):
     """Internal: a primary shard attempt gave way to its hedge."""
+
+
+@dataclass(frozen=True)
+class _BoundKernels:
+    """Compiled, data-independent closures for one bound shard query.
+
+    Every shard worker evaluates the same WHERE/key/input expressions;
+    compiling them once per query (and caching per query signature in
+    the process-wide kernel cache) replaces N_shards × N_blocks
+    ``Expression.evaluate`` tree walks with direct closure calls. The
+    closures are read-only after construction, so sharing them across
+    the worker thread pool is safe.
+    """
+
+    where_fn: Optional[Callable]
+    key_fns: Tuple[Callable, ...]
+    #: aggregate alias -> compiled argument (None for COUNT(*)-style)
+    input_fns: Dict[str, Optional[Callable]]
+
+    def mask_of(self, qtable) -> Optional[np.ndarray]:
+        if self.where_fn is None:
+            return None
+        return np.asarray(self.where_fn(qtable), dtype=bool)
+
+    def inputs_of(self, agg: AggregateSpec, qtable) -> np.ndarray:
+        fn = self.input_fns.get(agg.alias)
+        if fn is None:
+            return np.ones(qtable.num_rows, dtype=np.float64)
+        return np.asarray(fn(qtable), dtype=np.float64)
 
 
 @dataclass
@@ -250,8 +281,55 @@ class ScatterGatherExecutor:
                 confidence=bound.error_spec.confidence,
             )
         self._check_supported(bound, mode)
-        outcomes = self._scatter(bound, spec, seed, mode, deadline, budget)
+        kernels = self._prepare_kernels(bound)
+        outcomes = self._scatter(
+            bound, kernels, spec, seed, mode, deadline, budget
+        )
         return self._gather(bound, spec, mode, outcomes, deadline)
+
+    def _prepare_kernels(self, bound: BoundQuery) -> _BoundKernels:
+        """Compile (or fetch cached) closures for the bound expressions.
+
+        The cache key is the query's normalized expression signature —
+        the kernels never touch shard *data*, so unlike the fused
+        executor's per-plan cache no table fingerprint is needed.
+        """
+        signature = "\n".join(
+            [
+                f"sharded={self.sharded.name}",
+                f"where={bound.where!r}",
+                *(
+                    f"key:{alias}={expr!r}"
+                    for expr, alias in bound.group_keys
+                ),
+                *(f"agg:{agg!r}" for agg in bound.aggregates),
+            ]
+        )
+
+        def compile_kernels() -> _BoundKernels:
+            return _BoundKernels(
+                where_fn=(
+                    compile_expression(bound.where)
+                    if bound.where is not None
+                    else None
+                ),
+                key_fns=tuple(
+                    compile_expression(expr)
+                    for expr, _alias in bound.group_keys
+                ),
+                input_fns={
+                    agg.alias: (
+                        compile_expression(agg.argument)
+                        if agg.argument is not None
+                        else None
+                    )
+                    for agg in bound.aggregates
+                },
+            )
+
+        return get_kernel_cache().get_or_compile(
+            ("sharded", self.sharded.name, signature), compile_kernels
+        )
 
     # ------------------------------------------------------------------
     # Support checks
@@ -325,6 +403,7 @@ class ScatterGatherExecutor:
     def _scatter(
         self,
         bound: BoundQuery,
+        kernels: _BoundKernels,
         spec: Optional[ErrorSpec],
         seed: Optional[int],
         mode: str,
@@ -335,7 +414,9 @@ class ScatterGatherExecutor:
         workers = self.max_workers or min(len(shards), 8)
 
         def run(shard: Shard) -> ShardOutcome:
-            return self._run_shard(shard, bound, spec, seed, mode, deadline, budget)
+            return self._run_shard(
+                shard, bound, kernels, spec, seed, mode, deadline, budget
+            )
 
         if workers <= 1 or len(shards) == 1:
             return [run(s) for s in shards]
@@ -346,6 +427,7 @@ class ScatterGatherExecutor:
         self,
         shard: Shard,
         bound: BoundQuery,
+        kernels: _BoundKernels,
         spec: Optional[ErrorSpec],
         seed: Optional[int],
         mode: str,
@@ -395,6 +477,7 @@ class ScatterGatherExecutor:
                 partial = self._execute_partial(
                     shard,
                     bound,
+                    kernels,
                     spec,
                     seed,
                     mode,
@@ -458,6 +541,7 @@ class ScatterGatherExecutor:
         self,
         shard: Shard,
         bound: BoundQuery,
+        kernels: _BoundKernels,
         spec: Optional[ErrorSpec],
         seed: Optional[int],
         mode: str,
@@ -469,12 +553,20 @@ class ScatterGatherExecutor:
     ) -> ShardPartial:
         if mode == "exact":
             return self._exact_partial(
-                shard, bound, deadline, budget, hedge_after, clock, attempt_start
+                shard,
+                bound,
+                kernels,
+                deadline,
+                budget,
+                hedge_after,
+                clock,
+                attempt_start,
             )
         if mode == "ola":
             return self._ola_partial(
                 shard,
                 bound,
+                kernels,
                 spec,
                 seed,
                 deadline,
@@ -483,7 +575,7 @@ class ScatterGatherExecutor:
                 clock,
                 attempt_start,
             )
-        return self._sample_partial(shard, bound, spec)
+        return self._sample_partial(shard, bound, kernels, spec)
 
     # ------------------------------------------------------------------
     # Per-shard techniques
@@ -492,6 +584,7 @@ class ScatterGatherExecutor:
         self,
         shard: Shard,
         bound: BoundQuery,
+        kernels: _BoundKernels,
         deadline: Optional[Deadline],
         budget: Optional[ResourceBudget],
         hedge_after: Optional[float],
@@ -512,8 +605,8 @@ class ScatterGatherExecutor:
             and get_injector() is None
         )
         if fast:
-            qtable = table.rename(rename_map)
-            self._accumulate(partial, bound, qtable)
+            qtable = SliceRelation(table, 0, table.num_rows, rename_map)
+            self._accumulate(partial, bound, kernels, qtable)
             return partial
         for b in range(table.num_blocks):
             if (
@@ -528,32 +621,33 @@ class ScatterGatherExecutor:
             maybe_fault(site)
             if deadline is not None:
                 deadline.check(site=site)
-            block = table.block(b).rename(rename_map)
+            start, stop = table.block_bounds(b)
+            block = SliceRelation(table, start, stop, rename_map)
             if budget is not None:
                 budget.charge(rows=block.num_rows, blocks=1, site=site)
-            self._accumulate(partial, bound, block)
+            self._accumulate(partial, bound, kernels, block)
         return partial
 
     def _accumulate(
-        self, partial: ShardPartial, bound: BoundQuery, qtable: Table
+        self,
+        partial: ShardPartial,
+        bound: BoundQuery,
+        kernels: _BoundKernels,
+        qtable,
     ) -> None:
-        mask = (
-            np.asarray(bound.where.evaluate(qtable), dtype=bool)
-            if bound.where is not None
-            else None
-        )
+        mask = kernels.mask_of(qtable)
         matched = int(mask.sum()) if mask is not None else qtable.num_rows
         partial.rows_scanned += qtable.num_rows
         partial.matched_rows += matched
         if bound.group_keys:
-            self._accumulate_groups(partial, bound, qtable, mask)
+            self._accumulate_groups(partial, bound, kernels, qtable, mask)
             return
         for agg in bound.aggregates:
             ap = partial.scalars.setdefault(agg.alias, AggPartial())
             if agg.func == "count":
                 ap.count += matched
                 continue
-            vals = np.asarray(agg.input_values(qtable), dtype=np.float64)
+            vals = kernels.inputs_of(agg, qtable)
             if mask is not None:
                 vals = vals[mask]
             ap.sum += float(vals.sum())
@@ -564,12 +658,13 @@ class ScatterGatherExecutor:
         self,
         partial: ShardPartial,
         bound: BoundQuery,
-        qtable: Table,
+        kernels: _BoundKernels,
+        qtable,
         mask: Optional[np.ndarray],
     ) -> None:
         key_arrays = []
-        for expr, _alias in bound.group_keys:
-            arr = np.asarray(expr.evaluate(qtable))
+        for key_fn in kernels.key_fns:
+            arr = np.asarray(key_fn(qtable))
             key_arrays.append(arr[mask] if mask is not None else arr)
         n = len(key_arrays[0]) if key_arrays else 0
         if n == 0:
@@ -589,7 +684,7 @@ class ScatterGatherExecutor:
             if agg.func == "count":
                 sums = None
             else:
-                vals = np.asarray(agg.input_values(qtable), dtype=np.float64)
+                vals = kernels.inputs_of(agg, qtable)
                 if mask is not None:
                     vals = vals[mask]
                 sums = np.bincount(inv, weights=vals, minlength=len(keys))
@@ -609,6 +704,7 @@ class ScatterGatherExecutor:
         self,
         shard: Shard,
         bound: BoundQuery,
+        kernels: _BoundKernels,
         spec: Optional[ErrorSpec],
         seed: Optional[int],
         deadline: Optional[Deadline],
@@ -621,28 +717,26 @@ class ScatterGatherExecutor:
         alias = bound.tables[0].alias
         table = shard.table
         site = shard_site(shard.shard_id, "scan")
-        qtable = table.rename(
-            {c: f"{alias}.{c}" for c in table.column_names}
+        qtable = SliceRelation(
+            table, 0, table.num_rows,
+            {c: f"{alias}.{c}" for c in table.column_names},
         )
-        mask = (
-            np.asarray(bound.where.evaluate(qtable), dtype=bool)
-            if bound.where is not None
-            else None
-        )
+        mask = kernels.mask_of(qtable)
         matched = int(mask.sum()) if mask is not None else table.num_rows
-        values = np.asarray(agg.input_values(qtable), dtype=np.float64)
+        values = kernels.inputs_of(agg, qtable)
         conf = spec.confidence if spec is not None else 0.95
         shard_seed = int(
             np.random.SeedSequence(
                 [seed if seed is not None else 0, shard.shard_id]
             ).generate_state(1)[0]
         )
-        vtable = Table({"v": values}, name=table.name)
 
         def snapshot_of(kind: str, rows: Optional[int] = None):
-            ola = OnlineAggregator(
-                vtable,
-                "v" if kind != "count" else None,
+            # COUNT formerly passed value_column=None, which the wrapped
+            # Table path expanded to an all-ones vector; feed the same
+            # vector to from_values so the snapshots stay bitwise-equal.
+            ola = OnlineAggregator.from_values(
+                values if kind != "count" else np.ones(table.num_rows),
                 agg=kind,
                 predicate_mask=mask,
                 confidence=conf,
@@ -697,7 +791,11 @@ class ScatterGatherExecutor:
         return partial
 
     def _sample_partial(
-        self, shard: Shard, bound: BoundQuery, spec: Optional[ErrorSpec]
+        self,
+        shard: Shard,
+        bound: BoundQuery,
+        kernels: _BoundKernels,
+        spec: Optional[ErrorSpec],
     ) -> ShardPartial:
         from ..offline.catalog import SynopsisCatalog
 
@@ -721,14 +819,12 @@ class ScatterGatherExecutor:
         sample = entry.sample
         alias = bound.tables[0].alias
         conf = spec.confidence if spec is not None else 0.95
-        qtable = sample.table.rename(
-            {c: f"{alias}.{c}" for c in sample.table.column_names}
+        qtable = SliceRelation(
+            sample.table, 0, sample.table.num_rows,
+            {c: f"{alias}.{c}" for c in sample.table.column_names},
         )
-        if bound.where is not None:
-            mask = np.asarray(bound.where.evaluate(qtable), dtype=bool)
-            filtered = sample.filtered(mask)
-        else:
-            filtered = sample
+        mask = kernels.mask_of(qtable)
+        filtered = sample.filtered(mask) if mask is not None else sample
         count_est = filtered.estimate_count()
         clo, chi = count_est.ci(conf)
         partial = ShardPartial(

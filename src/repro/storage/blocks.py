@@ -31,20 +31,51 @@ class AccessStats:
         self.rows_returned += other.rows_returned
 
 
-def full_scan(table: Table) -> Tuple[Table, AccessStats]:
-    """Read every block (the exact-query access path)."""
+#: Column name under which block-sampled scans expose each row's block id.
+#: Downstream, pilot-style planners group by it to get per-block statistics.
+BLOCK_ID_COLUMN = "__block_id"
+
+
+@dataclass
+class ScanSelection:
+    """A scan's row selection, decoupled from its materialization.
+
+    Every access path is the composition of two decisions: *which rows*
+    (and what that touch costs — :attr:`access`) and *whether to copy
+    them out*. The legacy ``*_scan`` functions fuse both; the fused
+    executor wants only the first, carrying :attr:`row_indices` as a
+    selection vector over zero-copy column views until (unless) a
+    consumer truly needs contiguous data.
+
+    ``row_indices is None`` means "all rows in order" — the full-scan
+    case, where even materialization is the identity and the base table
+    is shared, not copied.
+    """
+
+    table: Table
+    row_indices: Optional[np.ndarray]
+    block_id_column: Optional[np.ndarray]
+    access: AccessStats
+
+    @property
+    def num_rows(self) -> int:
+        if self.row_indices is None:
+            return self.table.num_rows
+        return len(self.row_indices)
+
+
+def full_selection(table: Table) -> ScanSelection:
+    """Select every row (the exact-query access path)."""
     stats = AccessStats(
         rows_scanned=table.num_rows,
         blocks_scanned=table.num_blocks,
         rows_returned=table.num_rows,
     )
-    return table, stats
+    return ScanSelection(table, None, None, stats)
 
 
-def row_sample_scan(
-    table: Table, row_indices: np.ndarray
-) -> Tuple[Table, AccessStats]:
-    """Materialize specific rows.
+def row_sample_selection(table: Table, row_indices: np.ndarray) -> ScanSelection:
+    """Select specific rows.
 
     A row-level sampler must still *touch* every block that holds at least
     one selected row; with uniform sampling at any non-trivial rate that is
@@ -58,21 +89,14 @@ def row_sample_scan(
         blocks_scanned=touched_blocks,
         rows_returned=len(row_indices),
     )
-    return table.take(row_indices), stats
+    return ScanSelection(table, row_indices, None, stats)
 
 
-#: Column name under which block-sampled scans expose each row's block id.
-#: Downstream, pilot-style planners group by it to get per-block statistics.
-BLOCK_ID_COLUMN = "__block_id"
+def block_sample_selection(table: Table, block_ids: Sequence[int]) -> ScanSelection:
+    """Select whole blocks; non-sampled blocks are skipped entirely.
 
-
-def block_sample_scan(
-    table: Table, block_ids: Sequence[int]
-) -> Tuple[Table, AccessStats]:
-    """Materialize whole blocks; non-sampled blocks are skipped entirely.
-
-    The result carries a :data:`BLOCK_ID_COLUMN` column recording each
-    row's source block, which block-aware estimators require.
+    The selection carries a :data:`BLOCK_ID_COLUMN` vector recording each
+    selected row's source block, which block-aware estimators require.
     """
     block_ids = sorted(set(int(b) for b in block_ids))
     pieces: List[np.ndarray] = []
@@ -92,13 +116,66 @@ def block_sample_scan(
         blocks_scanned=len(block_ids),
         rows_returned=rows,
     )
-    return table.take(indices).with_column(BLOCK_ID_COLUMN, ids), stats
+    return ScanSelection(table, indices, ids, stats)
+
+
+def materialize_selection(selection: ScanSelection) -> Table:
+    """Copy a selection out into a contiguous Table.
+
+    Full-scan selections return the base table itself (zero-copy), which
+    is exactly what :func:`full_scan` has always done.
+    """
+    if selection.row_indices is None:
+        result = selection.table
+    else:
+        result = selection.table.take(selection.row_indices)
+    if selection.block_id_column is not None:
+        result = result.with_column(BLOCK_ID_COLUMN, selection.block_id_column)
+    return result
+
+
+def full_scan(table: Table) -> Tuple[Table, AccessStats]:
+    """Read every block (the exact-query access path)."""
+    selection = full_selection(table)
+    return materialize_selection(selection), selection.access
+
+
+def row_sample_scan(
+    table: Table, row_indices: np.ndarray
+) -> Tuple[Table, AccessStats]:
+    """Materialize specific rows (see :func:`row_sample_selection`)."""
+    selection = row_sample_selection(table, row_indices)
+    return materialize_selection(selection), selection.access
+
+
+def block_sample_scan(
+    table: Table, block_ids: Sequence[int]
+) -> Tuple[Table, AccessStats]:
+    """Materialize whole blocks (see :func:`block_sample_selection`).
+
+    The result carries a :data:`BLOCK_ID_COLUMN` column recording each
+    row's source block, which block-aware estimators require.
+    """
+    selection = block_sample_selection(table, block_ids)
+    return materialize_selection(selection), selection.access
 
 
 def iter_blocks(table: Table) -> Iterator[Tuple[int, Table]]:
     """Yield ``(block_id, block_table)`` pairs."""
     for bid in range(table.num_blocks):
         yield bid, table.block(bid)
+
+
+def iter_morsels(table: Table) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(block_id, start_row, stop_row)`` morsels, in block order.
+
+    Morsels describe block-granular row ranges without materializing
+    anything — the unit of work for fused per-block pipelines (sharded
+    execution checkpoints deadlines between morsels).
+    """
+    for bid in range(table.num_blocks):
+        start, stop = table.block_bounds(bid)
+        yield bid, start, stop
 
 
 def block_row_counts(table: Table) -> np.ndarray:
