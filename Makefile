@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke audit audit-smoke
+.PHONY: test test-fast bench bench-smoke audit audit-smoke trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,3 +25,9 @@ audit:
 ## Seconds-fast audit; fails on broken guarantees or baseline regressions
 audit-smoke:
 	$(PYTHON) -m repro audit --smoke
+
+## Observability smoke: trace-conformance tests + one live EXPLAIN ANALYZE
+trace-smoke:
+	$(PYTHON) -m pytest -m obs -q
+	$(PYTHON) -m repro trace --demo tpch --scale 1 --metrics \
+		"SELECT SUM(l_extendedprice) AS revenue FROM lineitem ERROR WITHIN 5% CONFIDENCE 95%"

@@ -145,12 +145,15 @@ def _run_pytest_once(path: str) -> Dict[str, object]:
     import pytest
 
     from repro.engine.kernel_cache import get_kernel_cache
+    from repro.obs.metrics import get_metrics
     from repro.storage.synopsis_cache import get_global_cache
 
     cache = get_global_cache()
     cache.stats.reset()
     kernel_cache = get_kernel_cache()
     kernel_cache.stats.reset()
+    registry = get_metrics()
+    registry.reset()
     buf = io.StringIO()
     start = time.perf_counter()
     with contextlib.redirect_stdout(buf):
@@ -163,6 +166,11 @@ def _run_pytest_once(path: str) -> Dict[str, object]:
         "wall_s": wall,
         "cache": cache.stats.as_dict(),
         "kernel_cache": kernel_cache.stats.as_dict(),
+        # Engine-level counters/histograms accumulated during the run
+        # (queries served per engine/rung, cache lookups, retries, ...).
+        # Cache gauges are excluded: the cold/warm cache dicts above
+        # already carry them attributed per run.
+        "metrics_registry": registry.snapshot(include_caches=False),
         "output_tail": buf.getvalue()[-2000:],
     }
 
@@ -184,6 +192,7 @@ def _run_experiment(path: str) -> Dict[str, object]:
         "cold_wall_s": round(cold["wall_s"], 4),
         "cold_cache": cold["cache"],
         "kernel_cache": cold["kernel_cache"],
+        "metrics_registry": cold["metrics_registry"],
         "metrics": _consume_metrics(name),
     }
     if cold["exit_code"] != 0:
@@ -279,6 +288,16 @@ def compare_results(
                 problems.append(
                     f"{name}: warm run no longer hits the synopsis cache"
                 )
+        # Kernel-cache regression: an experiment whose baseline run
+        # reused compiled kernels must keep reusing them — losing every
+        # hit means plan signatures churn and each query recompiles.
+        old_khits = (prev.get("kernel_cache") or {}).get("hits", 0)
+        new_khits = (exp.get("kernel_cache") or {}).get("hits", 0)
+        if old_khits > 0 and new_khits == 0:
+            problems.append(
+                f"{name}: kernel cache no longer hits "
+                f"(baseline {old_khits} hits, now 0)"
+            )
         if name == "bench_p03_fused_pipeline":
             problems.extend(_check_p03(exp, prev))
     return problems

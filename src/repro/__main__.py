@@ -127,11 +127,61 @@ def make_database(args) -> Database:
 
 
 def run_query(db: Database, sql: str, seed: int) -> str:
+    from .obs.explain import ExplainResult
+
     try:
         result = db.sql(sql, seed=seed)
     except Exception as exc:  # surface library errors cleanly
         return f"error: {type(exc).__name__}: {exc}"
+    if isinstance(result, str):  # EXPLAIN: plan text, nothing ran
+        return result
+    if isinstance(result, ExplainResult):  # EXPLAIN ANALYZE transcript
+        return result.render()
     return format_result(result)
+
+
+def run_trace(argv: List[str]) -> int:
+    """``python -m repro trace``: EXPLAIN ANALYZE from the command line.
+
+    Runs the query under a tracer and prints the plan, the span tree,
+    and the cost line — the same transcript ``EXPLAIN ANALYZE <sql>``
+    returns through the SQL front-end. ``--metrics`` appends the
+    process-wide metrics snapshot as JSON.
+    """
+    from .obs.explain import run_explain_analyze
+    from .obs.metrics import get_metrics
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one query under a tracer and print its span tree",
+    )
+    parser.add_argument("query", help="SQL to trace")
+    parser.add_argument(
+        "--demo", choices=["tpch", "ssb"], help="generate a demo database"
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--csv", action="append", default=[], metavar="NAME=PATH"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="omit durations (stable output for diffing)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="append the metrics-registry snapshot as JSON",
+    )
+    args = parser.parse_args(argv)
+    db = make_database(args)
+    explained = run_explain_analyze(db, args.query, seed=args.seed)
+    print(explained.render(show_timing=not args.no_timing))
+    if args.metrics:
+        print()
+        print(get_metrics().to_json())
+    return 0
 
 
 def _benchmarks_dir() -> str:
@@ -446,6 +496,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_audit_cli(argv[1:])
     if argv and argv[0] == "shardbench":
         return run_shardbench(argv[1:])
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:])
     args = build_parser().parse_args(argv)
     db = make_database(args)
     print(f"tables: {', '.join(db.table_names)}", file=sys.stderr)

@@ -66,32 +66,42 @@ class AQPEngine:
             ``DeadlineExceeded``; for graceful degradation instead, use
             :class:`~repro.resilience.ladder.ResilientEngine`.
         """
+        from ..obs.metrics import get_metrics
+        from ..obs.trace import span
         from ..resilience.deadline import deadline_scope
 
-        with deadline_scope(deadline, budget):
-            bound = bind_sql(query, self.database)
-            if spec is None and bound.error_spec is not None:
-                spec = ErrorSpec(
-                    relative_error=bound.error_spec.relative_error,
-                    confidence=bound.error_spec.confidence,
-                )
-            if spec is None and technique in (None, "exact"):
-                return self.execute_exact(bound, seed=seed)
-            if spec is None:
-                raise UnsupportedQueryError(
-                    "an error specification is required for approximate "
-                    "execution"
-                )
-            from .advisor import Advisor
+        with span("query", engine="aqp", sql=query.strip()[:200]) as qsp:
+            with deadline_scope(deadline, budget):
+                bound = bind_sql(query, self.database)
+                if spec is None and bound.error_spec is not None:
+                    spec = ErrorSpec(
+                        relative_error=bound.error_spec.relative_error,
+                        confidence=bound.error_spec.confidence,
+                    )
+                if spec is None and technique in (None, "exact"):
+                    result = self.execute_exact(bound, seed=seed)
+                elif spec is None:
+                    raise UnsupportedQueryError(
+                        "an error specification is required for approximate "
+                        "execution"
+                    )
+                else:
+                    from .advisor import Advisor
 
-            advisor = Advisor(self.database)
-            return advisor.run(
-                bound,
-                spec,
-                seed=seed,
-                force_technique=technique,
-                pilot_rate=pilot_rate,
+                    advisor = Advisor(self.database)
+                    result = advisor.run(
+                        bound,
+                        spec,
+                        seed=seed,
+                        force_technique=technique,
+                        pilot_rate=pilot_rate,
+                    )
+            served = getattr(result, "technique", "exact")
+            qsp.set(technique=served, stats=result.stats.to_dict())
+            get_metrics().inc(
+                "queries_total", engine="aqp", technique=served
             )
+            return result
 
     # ------------------------------------------------------------------
     def execute_exact(

@@ -162,11 +162,23 @@ class Database:
 
         Returns a :class:`~repro.core.result.QueryResult` for exact queries
         or an :class:`~repro.core.result.ApproximateResult` when the query
-        carries an error specification.
+        carries an error specification. ``EXPLAIN <sql>`` returns the
+        optimized plan text; ``EXPLAIN ANALYZE <sql>`` executes the query
+        under a tracer and returns an
+        :class:`~repro.obs.explain.ExplainResult` bundling the answer,
+        the span tree, and the metrics delta.
         """
         from ..core.session import AQPEngine
+        from ..sql.parser import split_explain
 
-        return AQPEngine(self).sql(query, seed=seed, **aqp_options)
+        mode, inner = split_explain(query)
+        if mode == "explain":
+            return self.explain(inner)
+        if mode == "analyze":
+            from ..obs.explain import run_explain_analyze
+
+            return run_explain_analyze(self, inner, seed=seed, **aqp_options)
+        return AQPEngine(self).sql(inner, seed=seed, **aqp_options)
 
     def explain(self, query: str) -> str:
         """Textual optimized plan for a SQL string."""

@@ -41,6 +41,7 @@ from .fused import (
     materialize_relation,
     run_prepared_aggregate,
     scan_relation,
+    signature_digest,
 )
 from .kernel_cache import get_kernel_cache
 from .plan import (
@@ -95,6 +96,34 @@ class ExecutionStats:
             + self.agg_input_rows * params.row_agg_cost
         )
         return CostEstimate(io=io, cpu=cpu, detail={"blocks": float(self.blocks_scanned)})
+
+    def to_dict(self) -> Dict[str, object]:
+        """One canonical JSON-able form, shared by results and spans.
+
+        Every execution path (fused, materializing, sharded, ladder)
+        reports through this dataclass, so the key set here *is* the
+        stats contract — ``test_observability`` pins that all paths
+        populate identical keys.
+        """
+        return {
+            "rows_scanned": int(self.rows_scanned),
+            "blocks_scanned": int(self.blocks_scanned),
+            "rows_sampled": int(self.rows_sampled),
+            "join_input_rows": int(self.join_input_rows),
+            "agg_input_rows": int(self.agg_input_rows),
+            "rows_output": int(self.rows_output),
+            "blocks_available": int(self.blocks_available),
+            "fraction_blocks_read": float(self.fraction_blocks_read),
+            "simulated_cost": float(self.simulated_cost().total),
+            "per_table": {
+                name: {
+                    "rows_scanned": int(a.rows_scanned),
+                    "blocks_scanned": int(a.blocks_scanned),
+                    "rows_returned": int(a.rows_returned),
+                }
+                for name, a in sorted(self.per_table.items())
+            },
+        }
 
     def merge(self, other: "ExecutionStats") -> None:
         self.rows_scanned += other.rows_scanned
@@ -190,12 +219,21 @@ class Executor:
                 )
             table = table.select(list(node.columns))
         total_blocks = table.num_blocks
+        from ..obs.trace import span
         from ..resilience.faults import maybe_fault
 
-        maybe_fault("executor.scan")  # chaos: slow blocks burn the clock here
-        selection = self._scan_selection(table, node.sample)
-        result = blockio.materialize_selection(selection)
-        self._account_scan(node, selection.access, total_blocks, stats)
+        with span(
+            "scan", table=node.table_name, sampled=node.sample is not None
+        ) as sp:
+            maybe_fault("executor.scan")  # chaos: slow blocks burn the clock here
+            selection = self._scan_selection(table, node.sample)
+            result = blockio.materialize_selection(selection)
+            self._account_scan(node, selection.access, total_blocks, stats)
+            sp.set(
+                rows_scanned=int(selection.access.rows_scanned),
+                blocks_scanned=int(selection.access.blocks_scanned),
+                rows_returned=int(selection.access.rows_returned),
+            )
         if node.alias is not None:
             # Qualified output names let the SQL layer join a table with
             # itself and disambiguate columns across tables.
@@ -280,15 +318,31 @@ class Executor:
                 )
             scan_columns = list(node.columns)
         total_blocks = table.num_blocks
+        from ..obs.trace import span
         from ..resilience.faults import maybe_fault
 
-        maybe_fault("executor.scan")  # chaos: same site as the materializing scan
-        selection = self._scan_selection(table, node.sample)
-        self._account_scan(node, selection.access, total_blocks, stats)
-        key = (table.fingerprint(), chain_signature(chain))
-        prepared = self.kernel_cache.get_or_compile(
-            key, lambda: compile_chain(chain)
-        )
+        with span(
+            "scan", table=node.table_name, sampled=node.sample is not None
+        ) as sp:
+            maybe_fault("executor.scan")  # chaos: same site as the materializing scan
+            selection = self._scan_selection(table, node.sample)
+            self._account_scan(node, selection.access, total_blocks, stats)
+            sp.set(
+                rows_scanned=int(selection.access.rows_scanned),
+                blocks_scanned=int(selection.access.blocks_scanned),
+                rows_returned=int(selection.access.rows_returned),
+            )
+        signature = chain_signature(chain)
+        key = (table.fingerprint(), signature)
+        compiled = []
+
+        def _compile():
+            compiled.append(True)
+            return compile_chain(chain)
+
+        with span("kernel", signature=signature_digest(signature)) as sp:
+            prepared = self.kernel_cache.get_or_compile(key, _compile)
+            sp.set(cache_hit=not compiled)
         rel = scan_relation(table, scan_columns, selection, node.alias)
         rel = apply_steps(prepared, rel)
         if prepared.aggregate is not None:

@@ -52,6 +52,7 @@ __all__ = [
     "PreparedChain",
     "extract_chain",
     "chain_signature",
+    "signature_digest",
     "compile_chain",
     "scan_relation",
     "apply_steps",
@@ -269,6 +270,18 @@ def chain_signature(chain: FusedChain) -> str:
         aggs = ";".join(repr(spec) for spec in agg.aggregates)
         parts.append(f"agg=[{keys}]|[{aggs}]|having={agg.having!r}")
     return "\n".join(parts)
+
+
+def signature_digest(signature: str) -> str:
+    """Short stable digest of a chain signature, for span attributes.
+
+    Full signatures are multi-line and repeat per scan; traces carry
+    this 12-hex-char handle instead so equal plans are still trivially
+    equatable across spans without bloating every trace document.
+    """
+    import hashlib
+
+    return hashlib.sha1(signature.encode("utf-8")).hexdigest()[:12]
 
 
 # ----------------------------------------------------------------------

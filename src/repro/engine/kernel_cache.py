@@ -91,13 +91,19 @@ class KernelCache:
         same key may race and both compile — last write wins, and the
         results are interchangeable pure functions of the plan.
         """
+        from ..obs.metrics import get_metrics
+
         with self._lock:
             value = self._entries.get(key)
             if value is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                get_metrics().inc(
+                    "kernel_cache_lookups_total", result="hit"
+                )
                 return value
             self.stats.misses += 1
+        get_metrics().inc("kernel_cache_lookups_total", result="miss")
         value = compiler()
         with self._lock:
             self._entries[key] = value

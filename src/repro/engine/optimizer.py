@@ -37,10 +37,13 @@ from .plan import (
 
 def optimize_plan(plan: PlanNode, database) -> PlanNode:
     """Apply all rewrite rules."""
-    plan = push_down_with_catalog(plan, database)
-    plan = order_join_inputs(plan, database)
-    plan = prune_scan_columns(plan, database)
-    return plan
+    from ..obs.trace import span
+
+    with span("optimize"):
+        plan = push_down_with_catalog(plan, database)
+        plan = order_join_inputs(plan, database)
+        plan = prune_scan_columns(plan, database)
+        return plan
 
 
 # ----------------------------------------------------------------------

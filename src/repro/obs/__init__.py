@@ -1,0 +1,50 @@
+"""Query-lifecycle observability: tracing, metrics, EXPLAIN ANALYZE.
+
+Three pieces (DESIGN.md §2.13):
+
+* :mod:`~repro.obs.trace` — :class:`Tracer` span trees threaded through
+  every execution path via a contextvar (``trace_scope``), off by
+  default and bitwise-invisible when off;
+* :mod:`~repro.obs.metrics` — the process-wide :class:`MetricsRegistry`
+  of always-on counters/gauges/histograms, snapshotable to JSON;
+* :mod:`~repro.obs.schema` — the committed JSON schema every emitted
+  span must validate against (the trace-conformance suite's contract).
+
+``EXPLAIN ANALYZE`` support lives in :mod:`~repro.obs.explain`, which is
+imported lazily by the SQL front-end (it reaches back into the engine,
+so importing it here would cycle).
+"""
+
+from .metrics import MetricsRegistry, get_metrics, set_metrics
+from .schema import REQUIRED_ATTRIBUTES, SPAN_SCHEMA, validate_span
+from .trace import (
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    event,
+    render_span_tree,
+    span,
+    structural_signature,
+    trace_scope,
+    tracer_signature,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "trace_scope",
+    "current_tracer",
+    "current_span",
+    "span",
+    "event",
+    "render_span_tree",
+    "structural_signature",
+    "tracer_signature",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "SPAN_SCHEMA",
+    "REQUIRED_ATTRIBUTES",
+    "validate_span",
+]

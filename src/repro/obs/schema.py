@@ -1,0 +1,182 @@
+"""The trace contract: a JSON schema every emitted span must satisfy.
+
+:data:`SPAN_SCHEMA` is the machine-checkable half of DESIGN.md §2.13's
+span taxonomy; a golden copy is committed at
+``tests/golden/span_schema.json`` and the conformance suite asserts the
+two never drift apart. :func:`validate_span` checks a
+``Span.to_dict()`` document against it — recursively, ``children``
+self-referencing the schema via ``$ref: "#"`` — and additionally
+enforces :data:`REQUIRED_ATTRIBUTES`, the per-span-name attribute
+contract that plain JSON Schema cannot express without a conditional
+per name.
+
+The validator is a deliberate hand-rolled subset (``type``,
+``required``, ``properties``, ``additionalProperties``, ``enum``,
+``pattern``, ``minimum``, ``items``, ``$ref: "#"``): the repo's only
+runtime dependency is numpy, and the subset is exactly what the span
+contract needs — growing it further should hurt.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+__all__ = ["SPAN_SCHEMA", "SPAN_NAME_PATTERN", "REQUIRED_ATTRIBUTES", "validate_span"]
+
+#: every legal span name (DESIGN.md §2.13); ``shard.<i>`` is per-shard
+SPAN_NAME_PATTERN = (
+    r"^(query|plan|optimize|scan|kernel|ola_step|synopsis_build"
+    r"|shard\.[0-9]+|degrade|retry|hedge|fault)$"
+)
+
+SPAN_SCHEMA: Dict[str, Any] = {
+    "$id": "repro/span",
+    "title": "repro query-trace span",
+    "type": "object",
+    "required": [
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "duration",
+        "status",
+        "error",
+        "attributes",
+        "children",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "name": {"type": "string", "pattern": SPAN_NAME_PATTERN},
+        "span_id": {"type": "integer", "minimum": 0},
+        "parent_id": {"type": ["integer", "null"], "minimum": 0},
+        "start": {"type": "number"},
+        "end": {"type": "number"},
+        "duration": {"type": "number", "minimum": 0},
+        "status": {"type": "string", "enum": ["ok", "error"]},
+        "error": {"type": "string"},
+        "attributes": {
+            "type": "object",
+            "additionalProperties": {
+                "type": [
+                    "string",
+                    "number",
+                    "integer",
+                    "boolean",
+                    "object",
+                    "array",
+                    "null",
+                ]
+            },
+        },
+        "children": {"type": "array", "items": {"$ref": "#"}},
+    },
+}
+
+#: attributes each span name must carry (the schema's conditional half)
+REQUIRED_ATTRIBUTES: Dict[str, tuple] = {
+    "query": ("engine",),
+    "scan": ("table", "rows_scanned", "blocks_scanned"),
+    "kernel": ("signature", "cache_hit"),
+    "ola_step": ("rows_seen",),
+    "synopsis_build": ("kind",),
+    "shard": ("shard_status",),
+    "degrade": ("rung",),
+    "retry": ("site", "attempt"),
+    "hedge": ("shard", "attempt"),
+    "fault": ("site", "kind", "arrival", "seed"),
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": (
+        lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+    ),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check(value: Any, schema: Dict[str, Any], root: Dict[str, Any],
+           path: str, errors: List[str]) -> None:
+    if "$ref" in schema:
+        if schema["$ref"] != "#":
+            errors.append(f"{path}: unsupported $ref {schema['$ref']!r}")
+            return
+        _check(value, root, root, path, errors)
+        return
+    types = schema.get("type")
+    if types is not None:
+        allowed = types if isinstance(types, list) else [types]
+        if not any(_TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(
+                f"{path}: {type(value).__name__} is not of type {allowed}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+    if (
+        "pattern" in schema
+        and isinstance(value, str)
+        and not re.search(schema["pattern"], value)
+    ):
+        errors.append(
+            f"{path}: {value!r} does not match {schema['pattern']!r}"
+        )
+    if (
+        "minimum" in schema
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value < schema["minimum"]
+    ):
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        props = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            sub = f"{path}.{name}"
+            if name in props:
+                _check(item, props[name], root, sub, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(additional, dict):
+                _check(item, additional, root, sub, errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def validate_span(
+    doc: Dict[str, Any], schema: Dict[str, Any] = SPAN_SCHEMA
+) -> List[str]:
+    """Schema violations of one span document (recursing into children).
+
+    Returns an empty list when the span conforms. Checks the JSON schema
+    first, then the per-name :data:`REQUIRED_ATTRIBUTES` contract on
+    every node of the subtree.
+    """
+    errors: List[str] = []
+    _check(doc, schema, schema, "span", errors)
+    if errors:
+        return errors
+
+    def attrs(node: Dict[str, Any], path: str) -> None:
+        base = re.sub(r"^shard\.[0-9]+$", "shard", node["name"])
+        for required in REQUIRED_ATTRIBUTES.get(base, ()):
+            if required not in node["attributes"]:
+                errors.append(
+                    f"{path}: span {node['name']!r} missing attribute "
+                    f"{required!r}"
+                )
+        for i, child in enumerate(node["children"]):
+            attrs(child, f"{path}.children[{i}]")
+
+    attrs(doc, "span")
+    return errors

@@ -1,0 +1,397 @@
+"""Per-query tracing: span trees threaded through every execution path.
+
+A :class:`Tracer` collects one tree of :class:`Span` objects per query.
+The taxonomy mirrors the engine's layers (DESIGN.md §2.13):
+
+* ``query`` — the serving-layer root (AQPEngine, ResilientEngine, or
+  ScatterGatherExecutor entry point);
+* ``plan`` / ``optimize`` — SQL binding and plan rewriting;
+* ``scan`` / ``kernel`` / ``ola_step`` / ``synopsis_build`` — leaf work:
+  block scans (fused and materializing alike), kernel-cache lookups,
+  online-aggregation snapshots, synopsis construction;
+* ``shard.<i>`` — one subtree per shard of a scatter-gather query;
+* ``degrade`` / ``retry`` / ``hedge`` / ``fault`` — resilience events:
+  ladder rungs, retry attempts, straggler hedges, injected faults.
+
+Propagation follows :func:`repro.resilience.deadline.deadline_scope`
+exactly: a contextvar carries ``(tracer, current_span)`` so production
+code calls the module-level :func:`span` / :func:`event` helpers without
+knowing whether tracing is on. **When no tracer is installed the helpers
+are no-ops** — they touch no RNG, no stats, and no clocks, which is what
+keeps tracing-off runs bitwise-identical to pre-tracing behaviour (the
+``test_trace_conformance`` suite pins this).
+
+Thread pools do **not** inherit contextvars, so code that fans out to
+workers (the scatter-gather executor) captures ``current_tracer()`` and
+``current_span()`` before scattering and passes them explicitly:
+``span("shard.0", tracer=tracer, parent=parent)`` re-roots the ambient
+scope inside the worker thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "trace_scope",
+    "current_tracer",
+    "current_span",
+    "span",
+    "event",
+    "render_span_tree",
+    "structural_signature",
+    "tracer_signature",
+]
+
+
+class Span:
+    """One timed, attributed node of a query's trace tree."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "status",
+        "error",
+        "attributes",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error = ""
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; chainable."""
+        self.attributes.update(attrs)
+        return self
+
+    def fail(self, error: str) -> "Span":
+        """Mark the span failed without an exception unwinding through it."""
+        self.status = "error"
+        self.error = error
+        return self
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return max(self.end - self.start, 0.0)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, id={self.span_id}, {self.status})"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; the trace schema validates exactly this shape."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": float(self.start),
+            "end": float(self.end if self.end is not None else self.start),
+            "duration": float(self.duration),
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _NullSpan:
+    """What :func:`span` yields when tracing is off: absorbs everything."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def fail(self, error: str) -> "_NullSpan":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects the span tree(s) of one traced query (or test scenario).
+
+    ``clock`` defaults to ``time.perf_counter``; pass a
+    :class:`~repro.resilience.deadline.ManualClock` for deterministic
+    span timings in tests. The tracer is thread-safe: scatter-gather
+    workers append shard subtrees concurrently.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.clock = clock
+        self.roots: List[Span] = []
+        self.spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            node = Span(
+                name,
+                span_id,
+                parent.span_id if parent is not None else None,
+                float(self.clock()),
+                attributes,
+            )
+            self.spans.append(node)
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                self.roots.append(node)
+            return node
+
+    def finish_span(self, node: Span) -> None:
+        node.end = float(self.clock())
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        """Every span, in creation order."""
+        return iter(list(self.spans))
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [r.to_dict() for r in self.roots]}
+
+
+# ----------------------------------------------------------------------
+# Ambient (contextvar) propagation — mirrors deadline_scope
+# ----------------------------------------------------------------------
+
+_SCOPE: ContextVar[Tuple[Optional[Tracer], Optional[Span]]] = ContextVar(
+    "repro_trace_scope", default=(None, None)
+)
+
+
+@contextlib.contextmanager
+def trace_scope(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Make ``tracer`` ambient for the enclosed code.
+
+    ``trace_scope(None)`` inherits any enclosing scope (the same
+    None-inherits convention as ``deadline_scope``), so wrappers can be
+    written unconditionally.
+    """
+    prev_tracer, prev_span = _SCOPE.get()
+    token = _SCOPE.set(
+        (tracer if tracer is not None else prev_tracer, prev_span)
+        if tracer is None
+        else (tracer, None)
+    )
+    try:
+        yield tracer if tracer is not None else prev_tracer
+    finally:
+        _SCOPE.reset(token)
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _SCOPE.get()[0]
+
+
+def current_span() -> Optional[Span]:
+    return _SCOPE.get()[1]
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    tracer: Optional[Tracer] = None,
+    parent: Optional[Span] = None,
+    **attrs: Any,
+):
+    """Open a span if tracing is active; yield :data:`NULL_SPAN` otherwise.
+
+    ``tracer``/``parent`` override the ambient scope — the hook worker
+    threads use to re-root under the query span captured before the
+    fan-out. An exception unwinding through the span marks it
+    ``status="error"`` and re-raises untouched.
+    """
+    active = tracer if tracer is not None else current_tracer()
+    if active is None:
+        yield NULL_SPAN
+        return
+    parent_span = parent if parent is not None else _SCOPE.get()[1]
+    node = active.start_span(name, parent=parent_span, attributes=attrs)
+    token = _SCOPE.set((active, node))
+    try:
+        yield node
+    except BaseException as exc:
+        node.status = "error"
+        node.error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        active.finish_span(node)
+        _SCOPE.reset(token)
+
+
+def event(
+    name: str,
+    tracer: Optional[Tracer] = None,
+    parent: Optional[Span] = None,
+    status: str = "ok",
+    error: str = "",
+    **attrs: Any,
+) -> Optional[Span]:
+    """A zero-duration span (an instant): OLA steps, faults, hedges."""
+    active = tracer if tracer is not None else current_tracer()
+    if active is None:
+        return None
+    parent_span = parent if parent is not None else _SCOPE.get()[1]
+    node = active.start_span(name, parent=parent_span, attributes=attrs)
+    node.status = status
+    node.error = error
+    active.finish_span(node)
+    return node
+
+
+# ----------------------------------------------------------------------
+# Rendering & structural comparison
+# ----------------------------------------------------------------------
+
+#: attributes worth showing inline in the rendered tree, in order
+_RENDER_ATTRS = (
+    "table",
+    "rung",
+    "technique",
+    "outcome",
+    "rows_scanned",
+    "blocks_scanned",
+    "rows_seen",
+    "cache_hit",
+    "shard_status",
+    "site",
+    "kind",
+    "attempt",
+    "coverage",
+)
+
+
+def render_span_tree(tracer: Tracer, show_timing: bool = True) -> str:
+    """Human-readable indented rendering of every root's subtree."""
+    lines: List[str] = []
+
+    def walk(node: Span, depth: int) -> None:
+        mark = "x" if node.status == "error" else "+"
+        parts = [f"{'  ' * depth}{mark} {node.name}"]
+        if show_timing:
+            parts.append(f"{node.duration * 1e3:.2f}ms")
+        for key in _RENDER_ATTRS:
+            if key in node.attributes:
+                parts.append(f"{key}={node.attributes[key]}")
+        if node.error:
+            parts.append(f"error={node.error}")
+        lines.append("  ".join(parts))
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in tracer.roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def structural_signature(
+    node: Span,
+    ignore: Tuple[str, ...] = (),
+    collapse_shards: bool = False,
+) -> Tuple:
+    """Shape of a span subtree, for differential trace comparison.
+
+    Two execution paths are *structurally equivalent* when they emit the
+    same tree of span names and statuses. ``ignore`` drops span names
+    one path legitimately adds (the fused executor's ``kernel`` span has
+    no materializing counterpart); ``collapse_shards`` folds every
+    ``shard.<i>`` subtree into a single ``shard.*`` leaf so sharded and
+    single-node runs of the same query can be compared at the query
+    level.
+    """
+    name = node.name
+    if collapse_shards and name.startswith("shard."):
+        return ("shard.*", node.status, ())
+    children: List[Tuple] = []
+    for child in node.children:
+        sig = structural_signature(child, ignore, collapse_shards)
+        if child.name in ignore:
+            # Splice the ignored span out, keeping its children in place.
+            children.extend(sig[2])
+        elif (
+            collapse_shards
+            and sig[0] == "shard.*"
+            and children
+            and children[-1] == sig
+        ):
+            continue  # fold N identical shard subtrees into one leaf
+        else:
+            children.append(sig)
+    return (name, node.status, tuple(children))
+
+
+def tracer_signature(
+    tracer: Tracer,
+    ignore: Tuple[str, ...] = (),
+    collapse_shards: bool = False,
+) -> Tuple:
+    """Signature of a whole trace — ``ignore`` applies to roots too.
+
+    Code driven below the serving layer (``db.execute`` directly) emits
+    its spans as *roots*; :func:`structural_signature` only splices
+    ignored names out of child positions, so this wrapper handles the
+    root level the same way and folds consecutive identical collapsed
+    shard roots.
+    """
+    sigs: List[Tuple] = []
+    for root in tracer.roots:
+        sig = structural_signature(root, ignore, collapse_shards)
+        if root.name in ignore:
+            sigs.extend(sig[2])
+        elif (
+            collapse_shards
+            and sig[0] == "shard.*"
+            and sigs
+            and sigs[-1] == sig
+        ):
+            continue
+        else:
+            sigs.append(sig)
+    return tuple(sigs)

@@ -122,6 +122,11 @@ class Deadline:
         """Raise :class:`DeadlineExceeded` if the deadline has passed."""
         if self.expired:
             self.fired_sites.append(site)
+            from ..obs.metrics import get_metrics
+
+            get_metrics().inc(
+                "deadline_misses_total", site=site or "unknown"
+            )
             raise DeadlineExceeded(
                 f"deadline of {self.seconds:.3f}s exceeded after "
                 f"{self.elapsed():.3f}s"

@@ -133,6 +133,7 @@ class FaultInjector:
                     continue
                 spec.fires += 1
                 self.fired.append((site, spec.kind, arrival))
+                self._record(site, spec.kind, arrival)
                 if spec.kind == "slow":
                     if self.clock is not None:
                         self.clock.advance(spec.delay)
@@ -147,6 +148,29 @@ class FaultInjector:
                     raise InjectedFault(message, site=site)
                 raise spec.error_type(message)
         return None
+
+    def _record(self, site: str, kind: str, arrival: int) -> None:
+        """Every firing is a failed ``fault`` span + a chaos metric.
+
+        The span is marked ``status="error"`` for *all* kinds — a fired
+        fault is an injected failure of the site even when the site
+        absorbs it (slow/evict/corrupt) — and carries the injector seed,
+        which is what lets the chaos suite tie a trace back to the exact
+        schedule that produced it.
+        """
+        from ..obs.metrics import get_metrics
+        from ..obs.trace import event
+
+        event(
+            "fault",
+            status="error",
+            error=f"injected:{kind}",
+            site=site,
+            kind=kind,
+            arrival=arrival,
+            seed=self.seed,
+        )
+        get_metrics().inc("faults_injected_total", site=site, kind=kind)
 
     def fired_at(self, site: str) -> int:
         return sum(1 for s, _, _ in self.fired if s == site)

@@ -69,6 +69,8 @@ from ..engine.executor import ExecutionStats
 from ..engine.fused import SliceRelation
 from ..engine.optimizer import optimize_plan
 from ..engine.table import Table
+from ..obs.metrics import get_metrics
+from ..obs.trace import event, span
 from ..offline.catalog import SynopsisCatalog
 from ..online.ola import OnlineAggregator
 from ..sql.binder import BoundQuery, bind_sql
@@ -167,6 +169,7 @@ class ResilientEngine:
             self.breakers[rung] = CircuitBreaker(
                 failure_threshold=self._breaker_threshold,
                 cooldown=self._breaker_cooldown,
+                name=f"ladder.{rung}",
             )
         return self.breakers[rung]
 
@@ -188,93 +191,120 @@ class ResilientEngine:
         :class:`QueryRefused` (with the same provenance) only when every
         rung failed or the deadline left nothing runnable.
         """
-        with deadline_scope(deadline, budget):
-            bound = bind_sql(query, self.database)
-        if spec is None and bound.error_spec is not None:
-            spec = ErrorSpec(
-                relative_error=bound.error_spec.relative_error,
-                confidence=bound.error_spec.confidence,
-            )
-        provenance: List[Dict[str, object]] = []
-        rungs = self._build_rungs(
-            bound, spec, seed, technique, pilot_rate, deadline, budget
-        )
-        for name, fn, retryable, cheap_when_expired, degrades in rungs:
-            if (
-                deadline is not None
-                and deadline.expired
-                and not cheap_when_expired
-            ):
-                provenance.append(
-                    _step(name, "skipped", detail="deadline expired")
+        with span("query", engine="ladder", sql=query.strip()[:200]) as qsp:
+            with deadline_scope(deadline, budget):
+                bound = bind_sql(query, self.database)
+            if spec is None and bound.error_spec is not None:
+                spec = ErrorSpec(
+                    relative_error=bound.error_spec.relative_error,
+                    confidence=bound.error_spec.confidence,
                 )
-                continue
-            def _guarded(name=name, fn=fn):
-                # The fault hook runs inside the retry/breaker wrapper so
-                # injected rung failures are retried like any transient
-                # error and feed the rung's circuit breaker.
-                maybe_fault(f"ladder.{name}")
-                return fn()
+            provenance: List[Dict[str, object]] = []
+            rungs = self._build_rungs(
+                bound, spec, seed, technique, pilot_rate, deadline, budget
+            )
+            for name, fn, retryable, cheap_when_expired, degrades in rungs:
+                if (
+                    deadline is not None
+                    and deadline.expired
+                    and not cheap_when_expired
+                ):
+                    provenance.append(
+                        _step(name, "skipped", detail="deadline expired")
+                    )
+                    event(
+                        "degrade",
+                        rung=name,
+                        outcome="skipped",
+                        detail="deadline expired",
+                    )
+                    continue
+                def _guarded(name=name, fn=fn):
+                    # The fault hook runs inside the retry/breaker wrapper so
+                    # injected rung failures are retried like any transient
+                    # error and feed the rung's circuit breaker.
+                    maybe_fault(f"ladder.{name}")
+                    return fn()
 
-            try:
-                result = self._attempt(
-                    name, _guarded, retryable, deadline, cheap_when_expired
-                )
-            except DeadlineExceeded as exc:
+                try:
+                    with span("degrade", rung=name) as rsp:
+                        result = self._attempt(
+                            name,
+                            _guarded,
+                            retryable,
+                            deadline,
+                            cheap_when_expired,
+                        )
+                        rsp.set(outcome="ok")
+                except DeadlineExceeded as exc:
+                    provenance.append(
+                        _step(name, "failed", detail="deadline", error=exc)
+                    )
+                    continue
+                except BudgetExhausted as exc:
+                    provenance.append(
+                        _step(name, "failed", detail="budget", error=exc)
+                    )
+                    continue
+                except (UnsupportedQueryError, InfeasiblePlanError) as exc:
+                    provenance.append(
+                        _step(name, "failed", detail="not applicable", error=exc)
+                    )
+                    continue
+                except SynopsisUnavailable as exc:
+                    provenance.append(
+                        _step(name, "failed", detail="synopsis unavailable", error=exc)
+                    )
+                    continue
+                except ReproError as exc:
+                    provenance.append(_step(name, "failed", error=exc))
+                    continue
+                except Exception as exc:  # a bug or injected chaos: degrade, don't die
+                    provenance.append(
+                        _step(name, "failed", detail="unexpected", error=exc)
+                    )
+                    continue
+                degraded = degrades and len(provenance) > 0
                 provenance.append(
-                    _step(name, "failed", detail="deadline", error=exc)
+                    _step(
+                        name,
+                        "ok",
+                        degraded=degraded,
+                        technique=getattr(result, "technique", "exact"),
+                        detail=self._describe(result),
+                    )
                 )
-                continue
-            except BudgetExhausted as exc:
-                provenance.append(
-                    _step(name, "failed", detail="budget", error=exc)
-                )
-                continue
-            except (UnsupportedQueryError, InfeasiblePlanError) as exc:
-                provenance.append(
-                    _step(name, "failed", detail="not applicable", error=exc)
-                )
-                continue
-            except SynopsisUnavailable as exc:
-                provenance.append(
-                    _step(name, "failed", detail="synopsis unavailable", error=exc)
-                )
-                continue
-            except ReproError as exc:
-                provenance.append(_step(name, "failed", error=exc))
-                continue
-            except Exception as exc:  # a bug or injected chaos: degrade, don't die
-                provenance.append(
-                    _step(name, "failed", detail="unexpected", error=exc)
-                )
-                continue
-            degraded = degrades and len(provenance) > 0
-            provenance.append(
-                _step(
-                    name,
-                    "ok",
+                result.provenance = provenance
+                served_technique = str(provenance[-1]["technique"])
+                qsp.set(
+                    rung=name,
+                    technique=served_technique,
                     degraded=degraded,
-                    technique=getattr(result, "technique", "exact"),
-                    detail=self._describe(result),
+                    stats=result.stats.to_dict(),
                 )
+                get_metrics().inc(
+                    "queries_total",
+                    engine="ladder",
+                    rung=name,
+                    technique=served_technique,
+                )
+                if degraded and self.warn_on_degrade:
+                    warnings.warn(
+                        DegradedAnswer(
+                            f"query served from degraded rung {name!r}: "
+                            f"{provenance[-1]['detail']}"
+                        ),
+                        stacklevel=2,
+                    )
+                return result
+            get_metrics().inc("queries_refused_total", engine="ladder")
+            raise QueryRefused(
+                "every rung of the degradation ladder failed: "
+                + "; ".join(
+                    f"{p['rung']}={p['outcome']}" for p in provenance
+                ),
+                provenance=provenance,
             )
-            result.provenance = provenance
-            if degraded and self.warn_on_degrade:
-                warnings.warn(
-                    DegradedAnswer(
-                        f"query served from degraded rung {name!r}: "
-                        f"{provenance[-1]['detail']}"
-                    ),
-                    stacklevel=2,
-                )
-            return result
-        raise QueryRefused(
-            "every rung of the degradation ladder failed: "
-            + "; ".join(
-                f"{p['rung']}={p['outcome']}" for p in provenance
-            ),
-            provenance=provenance,
-        )
 
     # ------------------------------------------------------------------
     def _attempt(
@@ -505,7 +535,11 @@ class ResilientEngine:
         for snap in ola.run(
             batch_size=batch, max_fraction=max_fraction, deadline=deadline
         ):
-            pass
+            event(
+                "ola_step",
+                rows_seen=snap.rows_seen,
+                fraction=snap.fraction_seen,
+            )
         if snap is None:
             snap = ola.snapshot(min(batch, base.num_rows))
         if budget is not None:

@@ -25,6 +25,8 @@ from typing import Callable, List, Optional, TypeVar
 import numpy as np
 
 from ..core.exceptions import DeadlineExceeded, SynopsisUnavailable
+from ..obs.metrics import get_metrics
+from ..obs.trace import event
 from .deadline import Deadline, current_deadline
 
 __all__ = ["RetryPolicy", "CircuitBreaker"]
@@ -117,6 +119,18 @@ class RetryPolicy:
             deadline = current_deadline()
         last: Optional[BaseException] = None
         for attempt in range(self.max_attempts):
+            if attempt > 0:
+                # Retries (not first attempts) are span-worthy: they mark
+                # the transient failures the trace should surface.
+                event(
+                    "retry",
+                    site=site or "operation",
+                    attempt=attempt,
+                    error=f"{type(last).__name__}: {last}" if last else "",
+                )
+                get_metrics().inc(
+                    "retry_attempts_total", site=site or "operation"
+                )
             if deadline is not None:
                 deadline.check(site=f"retry:{site}")
             if breaker is not None and not breaker.allow():
@@ -162,13 +176,20 @@ class CircuitBreaker:
     call sequence.
     """
 
-    def __init__(self, failure_threshold: int = 3, cooldown: int = 5) -> None:
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: int = 5,
+        name: str = "",
+    ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown < 0:
             raise ValueError("cooldown must be >= 0")
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        #: label for the breaker's state-flip metrics ("anon" if unset)
+        self.name = name
         self.state = "closed"
         self.consecutive_failures = 0
         self._rejections_while_open = 0
@@ -178,6 +199,17 @@ class CircuitBreaker:
         self.times_opened = 0
 
     # ------------------------------------------------------------------
+    def _flip(self, to: str) -> None:
+        """Transition + the state-flip metric (no-op when already there)."""
+        if self.state == to:
+            return
+        self.state = to
+        get_metrics().inc(
+            "breaker_transitions_total",
+            breaker=self.name or "anon",
+            to=to,
+        )
+
     def allow(self) -> bool:
         """May the protected operation run right now?"""
         if self.state == "closed":
@@ -185,7 +217,7 @@ class CircuitBreaker:
         if self.state == "open":
             self._rejections_while_open += 1
             if self._rejections_while_open >= self.cooldown:
-                self.state = "half_open"
+                self._flip("half_open")
             return False
         # half_open: let exactly one probe through
         return True
@@ -193,7 +225,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.total_successes += 1
         self.consecutive_failures = 0
-        self.state = "closed"
+        self._flip("closed")
 
     def record_failure(self) -> None:
         self.total_failures += 1
@@ -201,7 +233,7 @@ class CircuitBreaker:
         if self.state == "half_open" or (
             self.consecutive_failures >= self.failure_threshold
         ):
-            self.state = "open"
+            self._flip("open")
             self.times_opened += 1
             self._rejections_while_open = 0
 
@@ -214,7 +246,7 @@ class CircuitBreaker:
         failure counters — which describe the protected operation, not
         the caller's time budget — are untouched.
         """
-        self.state = "open"
+        self._flip("open")
         self.times_opened += 1
         self._rejections_while_open = 0
 

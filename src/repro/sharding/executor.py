@@ -69,6 +69,8 @@ from ..engine.expressions import Column, compile_expression
 from ..engine.fused import SliceRelation
 from ..engine.kernel_cache import get_kernel_cache
 from ..engine.table import Table
+from ..obs.metrics import get_metrics
+from ..obs.trace import current_span, current_tracer, event, span
 from ..online.ola import OnlineAggregator
 from ..resilience.deadline import (
     Deadline,
@@ -249,6 +251,7 @@ class ScatterGatherExecutor:
             self.breakers[shard_id] = CircuitBreaker(
                 failure_threshold=self._breaker_threshold,
                 cooldown=self._breaker_cooldown,
+                name=f"shard.{shard_id}",
             )
         return self.breakers[shard_id]
 
@@ -274,18 +277,34 @@ class ScatterGatherExecutor:
         """
         deadline = resolve_deadline(deadline)
         budget = resolve_budget(budget)
-        bound = bind_sql(query, self.sharded.binder_database())
-        if spec is None and bound.error_spec is not None:
-            spec = ErrorSpec(
-                relative_error=bound.error_spec.relative_error,
-                confidence=bound.error_spec.confidence,
+        with span(
+            "query", engine="scatter_gather", sql=query.strip()[:200]
+        ) as qsp:
+            bound = bind_sql(query, self.sharded.binder_database())
+            if spec is None and bound.error_spec is not None:
+                spec = ErrorSpec(
+                    relative_error=bound.error_spec.relative_error,
+                    confidence=bound.error_spec.confidence,
+                )
+            self._check_supported(bound, mode)
+            kernels = self._prepare_kernels(bound)
+            outcomes = self._scatter(
+                bound, kernels, spec, seed, mode, deadline, budget
             )
-        self._check_supported(bound, mode)
-        kernels = self._prepare_kernels(bound)
-        outcomes = self._scatter(
-            bound, kernels, spec, seed, mode, deadline, budget
-        )
-        return self._gather(bound, spec, mode, outcomes, deadline)
+            result = self._gather(bound, spec, mode, outcomes, deadline)
+            technique = getattr(result, "technique", "exact")
+            qsp.set(
+                mode=mode,
+                technique=technique,
+                stats=result.stats.to_dict(),
+            )
+            get_metrics().inc(
+                "queries_total",
+                engine="scatter_gather",
+                mode=mode,
+                technique=technique,
+            )
+            return result
 
     def _prepare_kernels(self, bound: BoundQuery) -> _BoundKernels:
         """Compile (or fetch cached) closures for the bound expressions.
@@ -412,10 +431,23 @@ class ScatterGatherExecutor:
     ) -> List[ShardOutcome]:
         shards = self.sharded.shards
         workers = self.max_workers or min(len(shards), 8)
+        # ThreadPoolExecutor workers do not inherit contextvars: capture
+        # the ambient trace scope here and re-root it per shard.
+        tracer = current_tracer()
+        parent = current_span()
 
         def run(shard: Shard) -> ShardOutcome:
             return self._run_shard(
-                shard, bound, kernels, spec, seed, mode, deadline, budget
+                shard,
+                bound,
+                kernels,
+                spec,
+                seed,
+                mode,
+                deadline,
+                budget,
+                tracer=tracer,
+                parent=parent,
             )
 
         if workers <= 1 or len(shards) == 1:
@@ -424,6 +456,38 @@ class ScatterGatherExecutor:
             return list(pool.map(run, shards))
 
     def _run_shard(
+        self,
+        shard: Shard,
+        bound: BoundQuery,
+        kernels: _BoundKernels,
+        spec: Optional[ErrorSpec],
+        seed: Optional[int],
+        mode: str,
+        deadline: Optional[Deadline],
+        budget: Optional[ResourceBudget],
+        tracer=None,
+        parent=None,
+    ) -> ShardOutcome:
+        # The span re-roots the ambient trace scope inside the worker
+        # thread, so hedge/ola/fault events below land in this subtree.
+        with span(
+            f"shard.{shard.shard_id}", tracer=tracer, parent=parent
+        ) as sp:
+            outcome = self._shard_attempts(
+                shard, bound, kernels, spec, seed, mode, deadline, budget
+            )
+            sp.set(
+                shard_status=outcome.status,
+                attempts=list(outcome.attempts),
+                rows_scanned=(
+                    outcome.partial.rows_scanned if outcome.partial else 0
+                ),
+            )
+            if not outcome.served:
+                sp.fail(outcome.error or outcome.detail)
+            return outcome
+
+    def _shard_attempts(
         self,
         shard: Shard,
         bound: BoundQuery,
@@ -456,6 +520,11 @@ class ScatterGatherExecutor:
                 )
                 detail = "deadline"
                 break
+            if attempt > 0:
+                event("hedge", shard=shard.shard_id, attempt=attempt)
+                get_metrics().inc(
+                    "shard_hedges_total", shard=str(shard.shard_id)
+                )
             attempt_start = clock()
             hedge_after = None
             if attempt == 0 and self.hedge and deadline is not None:
@@ -551,31 +620,45 @@ class ScatterGatherExecutor:
         clock,
         attempt_start: float,
     ) -> ShardPartial:
-        if mode == "exact":
-            return self._exact_partial(
-                shard,
-                bound,
-                kernels,
-                deadline,
-                budget,
-                hedge_after,
-                clock,
-                attempt_start,
+        with span(
+            "scan",
+            table=self.sharded.name,
+            shard=shard.shard_id,
+            mode=mode,
+        ) as sp:
+            if mode == "exact":
+                partial = self._exact_partial(
+                    shard,
+                    bound,
+                    kernels,
+                    deadline,
+                    budget,
+                    hedge_after,
+                    clock,
+                    attempt_start,
+                )
+                blocks = shard.table.num_blocks
+            elif mode == "ola":
+                partial = self._ola_partial(
+                    shard,
+                    bound,
+                    kernels,
+                    spec,
+                    seed,
+                    deadline,
+                    budget,
+                    hedge_after,
+                    clock,
+                    attempt_start,
+                )
+                blocks = shard.table.num_blocks
+            else:
+                partial = self._sample_partial(shard, bound, kernels, spec)
+                blocks = 0
+            sp.set(
+                rows_scanned=partial.rows_scanned, blocks_scanned=blocks
             )
-        if mode == "ola":
-            return self._ola_partial(
-                shard,
-                bound,
-                kernels,
-                spec,
-                seed,
-                deadline,
-                budget,
-                hedge_after,
-                clock,
-                attempt_start,
-            )
-        return self._sample_partial(shard, bound, kernels, spec)
+            return partial
 
     # ------------------------------------------------------------------
     # Per-shard techniques
@@ -752,6 +835,11 @@ class ScatterGatherExecutor:
             for snap in ola.run(
                 batch_size=batch, max_fraction=max_fraction, deadline=deadline
             ):
+                event(
+                    "ola_step",
+                    rows_seen=snap.rows_seen,
+                    fraction=snap.fraction_seen,
+                )
                 maybe_fault(site)
                 if (
                     hedge_after is not None
@@ -862,6 +950,7 @@ class ScatterGatherExecutor:
     ):
         provenance: List[Dict[str, object]] = []
         for o in outcomes:
+            get_metrics().inc("shard_outcomes_total", status=o.status)
             provenance.append(
                 {
                     "rung": SCATTER_RUNG,
@@ -906,6 +995,9 @@ class ScatterGatherExecutor:
                 f"{self.min_coverage:.2%}"
             )
             provenance.append(summary)
+            get_metrics().inc(
+                "queries_refused_total", engine="scatter_gather"
+            )
             raise QueryRefused(
                 f"scatter-gather quorum failed: {summary['detail']}",
                 provenance=provenance,
@@ -915,6 +1007,9 @@ class ScatterGatherExecutor:
             summary["outcome"] = "failed"
             summary["detail"] = unboundable
             provenance.append(summary)
+            get_metrics().inc(
+                "queries_refused_total", engine="scatter_gather"
+            )
             raise QueryRefused(
                 f"cannot widen for missing shards: {unboundable}",
                 provenance=provenance,

@@ -597,4 +597,13 @@ def _bind_union(stmt: A.SelectStatement, database) -> BoundQuery:
 
 def bind_sql(query: str, database) -> BoundQuery:
     """Parse and bind a SQL string against a database."""
-    return bind_statement(parse_sql(query), database)
+    from ..obs.trace import span
+
+    with span("plan") as sp:
+        bound = bind_statement(parse_sql(query), database)
+        sp.set(
+            tables=[t.name for t in bound.tables],
+            is_aggregate=bound.is_aggregate,
+            has_error_spec=bound.error_spec is not None,
+        )
+        return bound

@@ -407,3 +407,32 @@ class Parser:
 def parse_sql(text: str) -> SelectStatement:
     """Parse a single SELECT statement."""
     return Parser(text).parse_select()
+
+
+def split_explain(text: str) -> Tuple[Optional[str], str]:
+    """Peel an ``EXPLAIN [ANALYZE]`` prefix off a SQL string.
+
+    Returns ``(mode, inner_sql)`` where ``mode`` is ``None`` (no
+    prefix), ``"explain"`` or ``"analyze"``. EXPLAIN/ANALYZE are not
+    lexer keywords — they arrive as IDENT tokens — so the prefix is
+    matched case-insensitively on token values and the inner statement
+    is sliced out of the original text by source offset, preserving it
+    byte-for-byte for the downstream parser.
+    """
+    tokens = tokenize(text)
+    if not tokens or tokens[0].kind != "IDENT":
+        return None, text
+    if tokens[0].value.upper() != "EXPLAIN":
+        return None, text
+    if len(tokens) < 2 or tokens[1].kind == "EOF":
+        raise SQLSyntaxError("EXPLAIN requires a statement", tokens[0].position)
+    mode = "explain"
+    rest = tokens[1]
+    if rest.kind == "IDENT" and rest.value.upper() == "ANALYZE":
+        mode = "analyze"
+        if len(tokens) < 3 or tokens[2].kind == "EOF":
+            raise SQLSyntaxError(
+                "EXPLAIN ANALYZE requires a statement", rest.position
+            )
+        rest = tokens[2]
+    return mode, text[rest.position:]

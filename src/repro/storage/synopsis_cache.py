@@ -164,14 +164,21 @@ class SynopsisCache:
     # Core operations
     # ------------------------------------------------------------------
     def get(self, key: Tuple) -> Optional[Any]:
+        from ..obs.metrics import get_metrics
+
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry.value
+                result = "miss"
+                value = None
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                result = "hit"
+                value = entry.value
+        get_metrics().inc("synopsis_cache_lookups_total", result=result)
+        return value
 
     def put(
         self, key: Tuple, value: Any, nbytes: Optional[int] = None
@@ -226,6 +233,7 @@ class SynopsisCache:
         :meth:`put` — can never leave a poisoned entry behind for the
         next lookup to trust.
         """
+        from ..obs.trace import span
         from ..resilience.faults import maybe_fault
 
         key = self.make_key(table, kind, columns, params, shard=shard)
@@ -235,13 +243,19 @@ class SynopsisCache:
             value = self.get(key)
             if value is not None:
                 return value
-        try:
-            value = builder()
-        except BaseException:
-            with self._lock:
-                self.stats.failed_builds += 1
-            self.evict(key)
-            raise
+        with span(
+            "synopsis_build",
+            kind=kind,
+            table=getattr(table, "name", str(key[0])),
+            refresh=refresh,
+        ):
+            try:
+                value = builder()
+            except BaseException:
+                with self._lock:
+                    self.stats.failed_builds += 1
+                self.evict(key)
+                raise
         self.put(key, value, nbytes=nbytes)
         return value
 

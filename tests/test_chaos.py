@@ -288,3 +288,54 @@ def test_sweep_is_deterministic():
         (o.kind, o.elapsed, o.claimed_rel) for o in b
     ]
     assert [o.provenance for o in a] == [o.provenance for o in b]
+
+
+# ----------------------------------------------------------------------
+# Fault spans: every injected fault is visible in the trace
+# ----------------------------------------------------------------------
+
+_FAULT_SPAN_SEEDS = [int(_seed_env)] if _seed_env else [0, 1, 2, 3]
+
+
+@pytest.mark.obs
+@pytest.mark.parametrize("seed", _FAULT_SPAN_SEEDS, ids=lambda s: f"seed{s}")
+def test_every_injected_fault_appears_as_a_failed_span(seed):
+    """Trace/injector agreement: the injector's ``fired`` log and the
+    trace's ``fault`` spans are the same sequence, every span is marked
+    failed, and every span carries the schedule's seed — so a trace
+    alone identifies the exact chaos schedule that produced it."""
+    from repro.obs.schema import validate_span
+    from repro.obs.trace import Tracer, trace_scope
+
+    rng = np.random.default_rng(seed)
+    for _ in range(TRIALS_PER_SEED):
+        db, _ = _build_world(rng)
+        engine = ResilientEngine(db, warn_on_degrade=False)
+        clock = ManualClock()
+        injector = _random_schedule(rng, clock)
+        tracer = Tracer(clock=clock)
+        with trace_scope(tracer):
+            with inject(injector):
+                for sql, _, _ in QUERIES:
+                    deadline = Deadline(5.0, clock=clock)
+                    try:
+                        engine.sql(
+                            sql,
+                            seed=int(rng.integers(2**31)),
+                            deadline=deadline,
+                        )
+                    except QueryRefused:
+                        pass
+        fault_spans = tracer.find("fault")
+        traced = [
+            (s.attributes["site"], s.attributes["kind"], s.attributes["arrival"])
+            for s in fault_spans
+        ]
+        assert traced == injector.fired, (
+            "trace and injector disagree about what fired"
+        )
+        for s in fault_spans:
+            assert s.status == "error"
+            assert s.error == f"injected:{s.attributes['kind']}"
+            assert s.attributes["seed"] == injector.seed
+            assert validate_span(s.to_dict()) == []
