@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke audit audit-smoke trace-smoke
+.PHONY: test test-fast bench bench-smoke audit audit-smoke trace-smoke stress-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,3 +31,10 @@ trace-smoke:
 	$(PYTHON) -m pytest -m obs -q
 	$(PYTHON) -m repro trace --demo tpch --scale 1 --metrics \
 		"SELECT SUM(l_extendedprice) AS revenue FROM lineitem ERROR WITHIN 5% CONFIDENCE 95%"
+
+## Concurrency hammer: serving frontend + thread-safety audits + one live
+## overload burst. Wrapped in a hard wall-clock timeout so a deadlock is
+## a red build, not a hung one (pytest-timeout is not a dependency).
+stress-smoke:
+	timeout 600 $(PYTHON) -m pytest -m stress -q
+	timeout 120 $(PYTHON) -m repro serve-bench --rows 100000 --burst 48

@@ -45,6 +45,7 @@ SMOKE_SET = [
     "bench_p01_sketch_ingest",
     "bench_p02_scatter_gather",
     "bench_p03_fused_pipeline",
+    "bench_p04_concurrent_serving",
     "bench_e10_sample_seek",
     "bench_e13_ola",
 ]

@@ -374,6 +374,171 @@ def run_shardbench(argv: List[str]) -> int:
     return 0
 
 
+def run_servebench(argv: List[str]) -> int:
+    """``python -m repro serve-bench``: overload-burst serving demo.
+
+    Stands up a :class:`~repro.serving.ServingFrontend` over a generated
+    table, fires a configurable burst of concurrent approximate queries
+    at it (default 4x the queue capacity), and prints the serving health
+    numbers: outcome counts (served / typed refusals / typed
+    rejections), shed rate with the rungs shed to, throughput, and
+    queue-wait percentiles.
+    """
+    import threading
+    import time
+
+    from .core.errorspec import ErrorSpec
+    from .core.exceptions import QueryRejected, QueryRefused
+    from .serving import ServingFrontend
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-bench",
+        description="Drive an overload burst through the serving frontend",
+    )
+    parser.add_argument("--rows", type=int, default=400_000)
+    parser.add_argument(
+        "--workers", type=int, default=2, help="frontend service threads"
+    )
+    parser.add_argument(
+        "--queue", type=int, default=16, help="admission queue capacity"
+    )
+    parser.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="queries in the burst (default: 4x the queue capacity)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, help="submitting client threads"
+    )
+    parser.add_argument(
+        "--queue-deadline",
+        type=float,
+        default=5.0,
+        dest="queue_deadline",
+        help="seconds a query may wait before typed rejection",
+    )
+    parser.add_argument(
+        "--tenant-capacity",
+        type=float,
+        default=None,
+        dest="tenant_capacity",
+        help="per-tenant token-bucket capacity (default: unlimited)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    burst = args.burst if args.burst is not None else 4 * args.queue
+
+    rng = np.random.default_rng(args.seed)
+    db = Database()
+    db.create_table(
+        "events",
+        {
+            "v": rng.exponential(10.0, args.rows),
+            "k": rng.integers(0, 100, args.rows),
+        },
+    )
+    query = (
+        "SELECT SUM(v) AS s FROM events WHERE v > 5 "
+        "ERROR WITHIN 10% CONFIDENCE 95%"
+    )
+    spec = ErrorSpec(relative_error=0.10, confidence=0.95)
+    frontend = ServingFrontend(
+        db,
+        workers=args.workers,
+        max_queue=args.queue,
+        queue_deadline_s=args.queue_deadline,
+        seed=args.seed,
+    )
+    if args.tenant_capacity is not None:
+        for c in range(args.clients):
+            frontend.budgets.configure(
+                f"client{c}", capacity=args.tenant_capacity
+            )
+
+    tickets: List = []
+    rejected: Dict[str, int] = {}
+    lock = threading.Lock()
+
+    def client(client_id: int) -> None:
+        for i in range(burst // args.clients):
+            try:
+                t = frontend.submit(
+                    query,
+                    tenant=f"client{client_id}",
+                    priority="interactive" if i % 2 else "batch",
+                    spec=spec,
+                    seed=client_id * 1000 + i,
+                )
+                with lock:
+                    tickets.append(t)
+            except QueryRejected as exc:
+                with lock:
+                    rejected[exc.reason] = rejected.get(exc.reason, 0) + 1
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(c,))
+        for c in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    frontend.drain(timeout=300.0)
+    elapsed = time.perf_counter() - start
+
+    served, refused, shed_to, waits = 0, 0, {}, []
+    for t in tickets:
+        t.wait(timeout=60.0)
+        err = t.exception()
+        if err is None:
+            served += 1
+            waits.append(t.queue_wait or 0.0)
+            if t.shed_to is not None:
+                shed_to[t.shed_to] = shed_to.get(t.shed_to, 0) + 1
+        elif isinstance(err, QueryRejected):
+            rejected[err.reason] = rejected.get(err.reason, 0) + 1
+        elif isinstance(err, QueryRefused):
+            refused += 1
+        else:
+            print(f"UNTYPED ERROR: {type(err).__name__}: {err}")
+    snapshot = frontend.metrics_snapshot()
+    frontend.close()
+
+    print(
+        f"{burst} queries from {args.clients} clients into a "
+        f"{args.queue}-slot queue ({args.workers} workers) "
+        f"in {elapsed:.2f}s"
+    )
+    print(f"  served:   {served}  ({served / elapsed:.1f} qps)")
+    total_shed = sum(shed_to.values())
+    rate = total_shed / served if served else 0.0
+    print(f"  shed:     {total_shed} ({rate:.1%})", end="")
+    if shed_to:
+        detail = ", ".join(
+            f"{rung}={n}" for rung, n in sorted(shed_to.items())
+        )
+        print(f"  [{detail}]", end="")
+    print()
+    print(f"  refused:  {refused} (typed)")
+    for reason in sorted(rejected):
+        print(f"  rejected: {rejected[reason]} ({reason})")
+    if waits:
+        arr = np.asarray(waits)
+        print(
+            f"  queue wait p50 {np.percentile(arr, 50) * 1e3:.1f} ms / "
+            f"p99 {np.percentile(arr, 99) * 1e3:.1f} ms / "
+            f"max {arr.max() * 1e3:.1f} ms"
+        )
+    print(f"  final shed level: {snapshot['shed_level']}")
+    lost = burst - served - refused - sum(rejected.values())
+    if lost:
+        print(f"LOST QUERIES: {lost}")
+        return 1
+    return 0
+
+
 def run_audit_cli(argv: List[str]) -> int:
     """``python -m repro audit``: the statistical guarantee audit.
 
@@ -496,6 +661,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_audit_cli(argv[1:])
     if argv and argv[0] == "shardbench":
         return run_shardbench(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return run_servebench(argv[1:])
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
     args = build_parser().parse_args(argv)

@@ -129,6 +129,28 @@ class QueryRefused(ReproError):
         self.provenance = list(provenance or [])
 
 
+class QueryRejected(ReproError):
+    """The serving front-end declined to *start* a query.
+
+    Unlike :class:`QueryRefused` (every ladder rung was tried and
+    failed), a rejection happens before any work: the admission queue is
+    full (``reason="overload"``), the tenant's cost budget has no tokens
+    (``reason="budget"``), or the query waited in the queue past the
+    configured queue deadline (``reason="queue_deadline"``). Rejections
+    are cheap by design — shedding at the front door is what keeps the
+    queries that *are* admitted inside their deadlines.
+    """
+
+    def __init__(
+        self, message: str, reason: str = "overload", tenant: str = ""
+    ) -> None:
+        super().__init__(message)
+        #: why admission failed: overload | budget | queue_deadline
+        self.reason = reason
+        #: the tenant whose query was rejected
+        self.tenant = tenant
+
+
 class InjectedFault(ReproError):
     """An error deliberately raised by the fault-injection harness.
 

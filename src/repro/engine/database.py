@@ -13,6 +13,7 @@ AQP, and exposes two entry points:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -34,6 +35,10 @@ class Database:
         self.cost_params = cost_params
         #: registry used by repro.offline: (kind, table, key) -> synopsis
         self.synopses: Dict[Tuple[str, str, str], object] = {}
+        # Serving re-entrancy: concurrent queries share one Database, so
+        # catalog mutation and lazy-stats computation are serialized.
+        # Reentrant because append_rows -> replace_table nests.
+        self._catalog_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Catalog
@@ -45,28 +50,33 @@ class Database:
         block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> Table:
         """Register a table. ``data`` may be a Table or a columns mapping."""
-        if name in self._tables:
-            raise SchemaError(f"table {name!r} already exists")
-        if isinstance(data, Table):
-            table = Table(data.columns_dict(), name=name, block_size=data.block_size)
-        else:
-            table = Table(data, name=name, block_size=block_size)
-        self._tables[name] = table
-        return table
+        with self._catalog_lock:
+            if name in self._tables:
+                raise SchemaError(f"table {name!r} already exists")
+            if isinstance(data, Table):
+                table = Table(
+                    data.columns_dict(), name=name, block_size=data.block_size
+                )
+            else:
+                table = Table(data, name=name, block_size=block_size)
+            self._tables[name] = table
+            return table
 
     def drop_table(self, name: str) -> None:
-        self._tables.pop(name, None)
-        self._stats.pop(name, None)
+        with self._catalog_lock:
+            self._tables.pop(name, None)
+            self._stats.pop(name, None)
         self._invalidate_synopses(name)
 
     def replace_table(self, name: str, table: Table) -> None:
         """Swap a table's contents (used by update/maintenance simulations)."""
-        if name not in self._tables:
-            raise SchemaError(f"no table {name!r}")
-        self._tables[name] = Table(
-            table.columns_dict(), name=name, block_size=table.block_size
-        )
-        self._stats.pop(name, None)
+        with self._catalog_lock:
+            if name not in self._tables:
+                raise SchemaError(f"no table {name!r}")
+            self._tables[name] = Table(
+                table.columns_dict(), name=name, block_size=table.block_size
+            )
+            self._stats.pop(name, None)
         self._invalidate_synopses(name)
 
     @staticmethod
@@ -84,9 +94,10 @@ class Database:
 
     def append_rows(self, name: str, data: Mapping[str, Iterable]) -> None:
         """Append rows to a table (invalidates cached stats)."""
-        base = self.table(name)
-        extra = Table(data, name=name, block_size=base.block_size)
-        self.replace_table(name, Table.concat([base, extra], name=name))
+        with self._catalog_lock:
+            base = self.table(name)
+            extra = Table(data, name=name, block_size=base.block_size)
+            self.replace_table(name, Table.concat([base, extra], name=name))
 
     def table(self, name: str) -> Table:
         try:
@@ -104,16 +115,27 @@ class Database:
         return sorted(self._tables)
 
     def stats(self, name: str) -> TableStats:
-        """Catalog statistics, computed on first use and cached."""
-        if name not in self._stats:
-            self._stats[name] = compute_table_stats(self.table(name))
-        return self._stats[name]
+        """Catalog statistics, computed on first use and cached.
+
+        Computation happens outside the catalog lock (it can be a full
+        pass over the table); racing computations of the same table's
+        stats produce identical values, and ``setdefault`` keeps exactly
+        one.
+        """
+        with self._catalog_lock:
+            cached = self._stats.get(name)
+        if cached is not None:
+            return cached
+        computed = compute_table_stats(self.table(name))
+        with self._catalog_lock:
+            return self._stats.setdefault(name, computed)
 
     def invalidate_stats(self, name: Optional[str] = None) -> None:
-        if name is None:
-            self._stats.clear()
-        else:
-            self._stats.pop(name, None)
+        with self._catalog_lock:
+            if name is None:
+                self._stats.clear()
+            else:
+                self._stats.pop(name, None)
 
     # ------------------------------------------------------------------
     # Execution

@@ -27,7 +27,7 @@ __all__ = ["SPAN_SCHEMA", "SPAN_NAME_PATTERN", "REQUIRED_ATTRIBUTES", "validate_
 #: every legal span name (DESIGN.md §2.13); ``shard.<i>`` is per-shard
 SPAN_NAME_PATTERN = (
     r"^(query|plan|optimize|scan|kernel|ola_step|synopsis_build"
-    r"|shard\.[0-9]+|degrade|retry|hedge|fault)$"
+    r"|shard\.[0-9]+|degrade|retry|hedge|fault|admission)$"
 )
 
 SPAN_SCHEMA: Dict[str, Any] = {
@@ -86,6 +86,7 @@ REQUIRED_ATTRIBUTES: Dict[str, tuple] = {
     "retry": ("site", "attempt"),
     "hedge": ("shard", "attempt"),
     "fault": ("site", "kind", "arrival", "seed"),
+    "admission": ("tenant", "priority", "outcome"),
 }
 
 _TYPE_CHECKS = {

@@ -23,6 +23,17 @@ Fault kinds:
 ``"error"`` faults raise from inside :func:`maybe_fault`; ``"evict"`` /
 ``"corrupt"`` are *returned* as markers because only the site knows how
 to act on them. ``"slow"`` is handled entirely by the injector.
+
+**Concurrency.** A single arrival counter per site would make fault
+decisions depend on the thread schedule: two queries racing through the
+same site would swap arrival indices from run to run, and with them the
+RNG draws. The serving layer therefore wraps each query in
+:func:`query_scope`, and when a query id is ambient the injector keys
+both the arrival counter and the probability draw on
+``splitmix64(seed, site, query_id, arrival)`` — a pure function of the
+query, not of the interleaving — so the same fault schedule replays
+exactly no matter how many worker threads execute it. Without a query
+scope the legacy process-global counters apply unchanged.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from __future__ import annotations
 import contextlib
 import threading
 import zlib
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple, Type
 
@@ -45,11 +57,69 @@ __all__ = [
     "install_injector",
     "inject",
     "maybe_fault",
+    "query_scope",
+    "current_query_id",
+    "splitmix64",
     "shard_site",
     "kill_shard",
     "slow_shard",
     "corrupt_shard",
 ]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def splitmix64(*words: int) -> int:
+    """Mix integer words into one 64-bit value (pure, schedule-free).
+
+    The splitmix64 finalizer applied over a running state absorbing each
+    word — the same construction the vectorized sketch hashes use, kept
+    in pure ints here so fault/jitter derivation never touches numpy's
+    stateful generators.
+    """
+    state = 0x9E3779B97F4A7C15
+    for word in words:
+        state = (state ^ (int(word) & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        state = (state + 0x9E3779B97F4A7C15) & _MASK64
+        state = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        state = ((state ^ (state >> 27)) * 0x94D049BB133111EB) & _MASK64
+        state = (state ^ (state >> 31)) & _MASK64
+    return state
+
+
+def splitmix_uniform(*words: int) -> float:
+    """A U[0,1) draw that is a pure function of its words."""
+    return splitmix64(*words) / float(1 << 64)
+
+
+# ----------------------------------------------------------------------
+# Ambient query identity (set by the serving layer per admitted query)
+# ----------------------------------------------------------------------
+
+_QUERY_ID: ContextVar[Optional[int]] = ContextVar(
+    "repro_query_id", default=None
+)
+
+
+@contextlib.contextmanager
+def query_scope(query_id: Optional[int]) -> Iterator[None]:
+    """Make ``query_id`` ambient for the enclosed code.
+
+    The fault injector and retry jitter key their RNG draws on the
+    ambient query id when one is set, which is what decouples chaos
+    determinism from thread scheduling. ``None`` inherits any enclosing
+    scope (mirroring :func:`repro.resilience.deadline.deadline_scope`).
+    """
+    prev = _QUERY_ID.get()
+    token = _QUERY_ID.set(query_id if query_id is not None else prev)
+    try:
+        yield
+    finally:
+        _QUERY_ID.reset(token)
+
+
+def current_query_id() -> Optional[int]:
+    return _QUERY_ID.get()
 
 
 @dataclass
@@ -95,6 +165,10 @@ class FaultInjector:
         self._arrivals: dict = {}
         #: (site, kind, arrival_index) of every fault that fired
         self.fired: List[Tuple[str, str, int]] = []
+        #: (site, kind, query_id, arrival) — the schedule-free view the
+        #: concurrency determinism tests compare as a *set* (list order
+        #: still depends on thread interleaving; membership must not)
+        self.fired_by_query: List[Tuple[str, str, Optional[int], int]] = []
         self._lock = threading.Lock()
 
     def add(self, spec: FaultSpec) -> "FaultInjector":
@@ -102,17 +176,33 @@ class FaultInjector:
         return self
 
     # ------------------------------------------------------------------
-    def _decide(self, spec: FaultSpec, site: str, arrival: int) -> bool:
+    def _decide(
+        self,
+        spec: FaultSpec,
+        site: str,
+        arrival: int,
+        query_id: Optional[int],
+    ) -> bool:
         if arrival < spec.after:
             return False
         if spec.max_fires is not None and spec.fires >= spec.max_fires:
             return False
         if spec.probability >= 1.0:
             return True
-        ss = np.random.SeedSequence(
-            [self.seed, zlib.crc32(site.encode("utf-8")), arrival]
-        )
-        u = np.random.default_rng(ss).random()
+        if query_id is not None:
+            # Pure function of (seed, site, query, arrival-within-query):
+            # immune to thread scheduling by construction.
+            u = splitmix_uniform(
+                self.seed,
+                zlib.crc32(site.encode("utf-8")),
+                query_id,
+                arrival,
+            )
+        else:
+            ss = np.random.SeedSequence(
+                [self.seed, zlib.crc32(site.encode("utf-8")), arrival]
+            )
+            u = np.random.default_rng(ss).random()
         return bool(u < spec.probability)
 
     def arrive(self, site: str) -> Optional[str]:
@@ -122,17 +212,28 @@ class FaultInjector:
         on, ``None`` when nothing fired, and raises for error faults.
         Slow faults advance the clock and return ``None`` (the slowdown
         is visible only through the deadline).
+
+        Arrivals are counted per ``(site, ambient query id)`` so that,
+        under the serving layer's :func:`query_scope`, a query's fault
+        schedule is independent of what other queries do concurrently.
+        With no ambient query id the counter is process-global per site
+        (the original single-threaded behaviour, unchanged).
         """
+        query_id = current_query_id()
+        counter_key = site if query_id is None else (site, query_id)
         with self._lock:
-            arrival = self._arrivals.get(site, 0)
-            self._arrivals[site] = arrival + 1
+            arrival = self._arrivals.get(counter_key, 0)
+            self._arrivals[counter_key] = arrival + 1
             for spec in self.specs:
                 if spec.site != site:
                     continue
-                if not self._decide(spec, site, arrival):
+                if not self._decide(spec, site, arrival, query_id):
                     continue
                 spec.fires += 1
                 self.fired.append((site, spec.kind, arrival))
+                self.fired_by_query.append(
+                    (site, spec.kind, query_id, arrival)
+                )
                 self._record(site, spec.kind, arrival)
                 if spec.kind == "slow":
                     if self.clock is not None:

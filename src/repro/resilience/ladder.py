@@ -45,6 +45,7 @@ still cover at the claimed rate.
 from __future__ import annotations
 
 import math
+import threading
 import warnings
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
@@ -159,19 +160,21 @@ class ResilientEngine:
             max_attempts=1, jitter=0.0, seed=0, retry_on=_TRANSIENT
         )
         self.breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
         self.warn_on_degrade = warn_on_degrade
 
     # ------------------------------------------------------------------
     def breaker(self, rung: str) -> CircuitBreaker:
-        if rung not in self.breakers:
-            self.breakers[rung] = CircuitBreaker(
-                failure_threshold=self._breaker_threshold,
-                cooldown=self._breaker_cooldown,
-                name=f"ladder.{rung}",
-            )
-        return self.breakers[rung]
+        with self._breakers_lock:
+            if rung not in self.breakers:
+                self.breakers[rung] = CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    cooldown=self._breaker_cooldown,
+                    name=f"ladder.{rung}",
+                )
+            return self.breakers[rung]
 
     # ------------------------------------------------------------------
     def sql(
@@ -183,6 +186,7 @@ class ResilientEngine:
         pilot_rate: float = 0.01,
         deadline: Optional[Deadline] = None,
         budget: Optional[ResourceBudget] = None,
+        entry_rung: Optional[str] = None,
     ):
         """Serve one query through the degradation ladder.
 
@@ -190,7 +194,22 @@ class ResilientEngine:
         whose ``provenance`` records every rung tried; raises
         :class:`QueryRefused` (with the same provenance) only when every
         rung failed or the deadline left nothing runnable.
+
+        ``entry_rung`` starts the fall-through at a lower rung than
+        ``requested`` — the overload controller's lever: under load the
+        serving layer shrinks the entry rung *fleet-wide* so accuracy
+        degrades before availability does. Rungs skipped this way are
+        recorded in provenance with ``shed_to=<rung>`` so a degraded
+        answer is always distinguishable from a failed one. An
+        ``entry_rung`` that does not apply to this query (e.g. a
+        spec-less query whose only rung is exact) is ignored rather
+        than refused: shedding must never make a query less servable.
         """
+        if entry_rung is not None and entry_rung not in LADDER_RUNGS:
+            raise ValueError(
+                f"unknown entry rung {entry_rung!r} (expected one of "
+                f"{LADDER_RUNGS})"
+            )
         with span("query", engine="ladder", sql=query.strip()[:200]) as qsp:
             with deadline_scope(deadline, budget):
                 bound = bind_sql(query, self.database)
@@ -203,6 +222,26 @@ class ResilientEngine:
             rungs = self._build_rungs(
                 bound, spec, seed, technique, pilot_rate, deadline, budget
             )
+            rung_names = [r[0] for r in rungs]
+            if entry_rung in rung_names and rung_names.index(entry_rung) > 0:
+                shed_index = rung_names.index(entry_rung)
+                for name, *_ in rungs[:shed_index]:
+                    step = _step(
+                        name, "skipped", detail=f"shed_to={entry_rung}"
+                    )
+                    step["shed_to"] = entry_rung
+                    provenance.append(step)
+                    event(
+                        "degrade",
+                        rung=name,
+                        outcome="skipped",
+                        detail=f"shed_to={entry_rung}",
+                    )
+                rungs = rungs[shed_index:]
+                get_metrics().inc(
+                    "queries_shed_total", engine="ladder", shed_to=entry_rung
+                )
+                qsp.set(shed_to=entry_rung)
             for name, fn, retryable, cheap_when_expired, degrades in rungs:
                 if (
                     deadline is not None

@@ -20,6 +20,8 @@ may pass ``time.sleep``.
 
 from __future__ import annotations
 
+import threading
+import zlib
 from typing import Callable, List, Optional, TypeVar
 
 import numpy as np
@@ -28,6 +30,7 @@ from ..core.exceptions import DeadlineExceeded, SynopsisUnavailable
 from ..obs.metrics import get_metrics
 from ..obs.trace import event
 from .deadline import Deadline, current_deadline
+from .faults import current_query_id, splitmix_uniform
 
 __all__ = ["RetryPolicy", "CircuitBreaker"]
 
@@ -46,8 +49,13 @@ class RetryPolicy:
         ``min(base_delay * multiplier**k, max_delay)`` scaled by jitter.
     jitter:
         Fractional jitter width; the delay is scaled by a factor drawn
-        uniformly from ``[1 - jitter, 1 + jitter]`` using the seeded RNG,
-        so two policies with the same seed back off identically.
+        uniformly from ``[1 - jitter, 1 + jitter]``. With a ``seed`` the
+        draw is a *pure function* of ``(seed, site, ambient query id,
+        attempt)`` — not a shared stream — so two policies with the same
+        seed back off identically **and** concurrent queries cannot
+        reorder each other's draws (one policy instance is safely shared
+        across serving threads). With ``seed=None`` a stateful
+        process-local RNG is used (non-reproducible by construction).
     sleeper:
         Callable receiving each delay. Defaults to a no-op that only
         records (simulated time); pass ``time.sleep`` for real waits or
@@ -75,6 +83,7 @@ class RetryPolicy:
         self.multiplier = multiplier
         self.max_delay = max_delay
         self.jitter = jitter
+        self.seed = seed
         self.retry_on = retry_on
         self._rng = np.random.default_rng(seed)
         self._sleeper = sleeper
@@ -82,15 +91,23 @@ class RetryPolicy:
         self.delays: List[float] = []
 
     # ------------------------------------------------------------------
-    def backoff(self, attempt: int) -> float:
+    def backoff(self, attempt: int, site: str = "") -> float:
         """Delay before retry number ``attempt`` (0-based)."""
         raw = min(
             self.base_delay * (self.multiplier ** attempt), self.max_delay
         )
         if self.jitter > 0:
-            raw *= float(
-                self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
-            )
+            if self.seed is not None:
+                query_id = current_query_id()
+                u = splitmix_uniform(
+                    self.seed,
+                    zlib.crc32(site.encode("utf-8")),
+                    query_id if query_id is not None else 0,
+                    attempt,
+                )
+            else:
+                u = float(self._rng.random())
+            raw *= (1.0 - self.jitter) + 2.0 * self.jitter * u
         return raw
 
     def call(
@@ -150,7 +167,7 @@ class RetryPolicy:
                 if breaker is not None:
                     breaker.record_failure()
                 if attempt + 1 < self.max_attempts:
-                    delay = self.backoff(attempt)
+                    delay = self.backoff(attempt, site=site)
                     if deadline is not None:
                         delay = min(delay, max(deadline.remaining(), 0.0))
                     self.delays.append(delay)
@@ -173,7 +190,9 @@ class CircuitBreaker:
 
     Counting cooldowns instead of timing them keeps chaos runs
     deterministic: the breaker's behaviour is a pure function of the
-    call sequence.
+    call sequence. State transitions are taken under a lock so breakers
+    shared across serving threads (the ladder's per-rung breakers, the
+    scatter-gather executor's per-shard breakers) count exactly.
     """
 
     def __init__(
@@ -197,6 +216,7 @@ class CircuitBreaker:
         self.total_failures = 0
         self.total_successes = 0
         self.times_opened = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _flip(self, to: str) -> None:
@@ -212,30 +232,33 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May the protected operation run right now?"""
-        if self.state == "closed":
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open":
+                self._rejections_while_open += 1
+                if self._rejections_while_open >= self.cooldown:
+                    self._flip("half_open")
+                return False
+            # half_open: let exactly one probe through
             return True
-        if self.state == "open":
-            self._rejections_while_open += 1
-            if self._rejections_while_open >= self.cooldown:
-                self._flip("half_open")
-            return False
-        # half_open: let exactly one probe through
-        return True
 
     def record_success(self) -> None:
-        self.total_successes += 1
-        self.consecutive_failures = 0
-        self._flip("closed")
+        with self._lock:
+            self.total_successes += 1
+            self.consecutive_failures = 0
+            self._flip("closed")
 
     def record_failure(self) -> None:
-        self.total_failures += 1
-        self.consecutive_failures += 1
-        if self.state == "half_open" or (
-            self.consecutive_failures >= self.failure_threshold
-        ):
-            self._flip("open")
-            self.times_opened += 1
-            self._rejections_while_open = 0
+        with self._lock:
+            self.total_failures += 1
+            self.consecutive_failures += 1
+            if self.state == "half_open" or (
+                self.consecutive_failures >= self.failure_threshold
+            ):
+                self._flip("open")
+                self.times_opened += 1
+                self._rejections_while_open = 0
 
     def reopen(self) -> None:
         """Re-open without recording an ordinary failure.
@@ -246,9 +269,10 @@ class CircuitBreaker:
         failure counters — which describe the protected operation, not
         the caller's time budget — are untouched.
         """
-        self._flip("open")
-        self.times_opened += 1
-        self._rejections_while_open = 0
+        with self._lock:
+            self._flip("open")
+            self.times_opened += 1
+            self._rejections_while_open = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,22 @@
+"""Concurrent serving front-end: admission, budgets, overload shedding.
+
+The serving layer answers the operational question the degradation
+ladder alone cannot: what happens when *many* queries arrive at once?
+:class:`ServingFrontend` bounds concurrency with an admission queue,
+meters tenants with token-bucket cost budgets, and under overload
+shrinks the ladder's entry rung fleet-wide — trading accuracy for
+availability before dropping any work (DESIGN.md §2.14).
+"""
+
+from .budgets import TenantBudgets, TokenBucket
+from .frontend import PRIORITY_CLASSES, QueryTicket, ServingFrontend
+from .overload import OverloadController
+
+__all__ = [
+    "ServingFrontend",
+    "QueryTicket",
+    "PRIORITY_CLASSES",
+    "TenantBudgets",
+    "TokenBucket",
+    "OverloadController",
+]

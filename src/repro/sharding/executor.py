@@ -44,6 +44,7 @@ with a missing shard refuses rather than guesses.
 from __future__ import annotations
 
 import math
+import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -244,16 +245,20 @@ class ScatterGatherExecutor:
         self.catalog = catalog
         self.warn_on_degrade = warn_on_degrade
         self.breakers: Dict[int, CircuitBreaker] = {}
+        # breaker() is called from pool worker threads; guard the
+        # check-then-insert (the breakers themselves carry their own lock).
+        self._breakers_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def breaker(self, shard_id: int) -> CircuitBreaker:
-        if shard_id not in self.breakers:
-            self.breakers[shard_id] = CircuitBreaker(
-                failure_threshold=self._breaker_threshold,
-                cooldown=self._breaker_cooldown,
-                name=f"shard.{shard_id}",
-            )
-        return self.breakers[shard_id]
+        with self._breakers_lock:
+            if shard_id not in self.breakers:
+                self.breakers[shard_id] = CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    cooldown=self._breaker_cooldown,
+                    name=f"shard.{shard_id}",
+                )
+            return self.breakers[shard_id]
 
     # ------------------------------------------------------------------
     def sql(
@@ -264,6 +269,7 @@ class ScatterGatherExecutor:
         mode: str = "exact",
         deadline: Optional[Deadline] = None,
         budget: Optional[ResourceBudget] = None,
+        tenant: str = "",
     ):
         """Serve one aggregate query from the shards.
 
@@ -274,12 +280,19 @@ class ScatterGatherExecutor:
         spec) or :class:`ApproximateResult`; raises
         :class:`QueryRefused` below the coverage floor or when a missing
         shard cannot be honestly widened.
+
+        ``tenant`` labels the query span and work metrics so a
+        multi-tenant serving layer can attribute shard work; the
+        tenant's deadline/budget arrive through the ambient
+        ``deadline_scope`` (or the explicit parameters) either way.
         """
         deadline = resolve_deadline(deadline)
         budget = resolve_budget(budget)
         with span(
             "query", engine="scatter_gather", sql=query.strip()[:200]
         ) as qsp:
+            if tenant:
+                qsp.set(tenant=tenant)
             bound = bind_sql(query, self.sharded.binder_database())
             if spec is None and bound.error_spec is not None:
                 spec = ErrorSpec(
@@ -298,11 +311,11 @@ class ScatterGatherExecutor:
                 technique=technique,
                 stats=result.stats.to_dict(),
             )
+            labels = {"engine": "scatter_gather", "mode": mode}
+            if tenant:
+                labels["tenant"] = tenant
             get_metrics().inc(
-                "queries_total",
-                engine="scatter_gather",
-                mode=mode,
-                technique=technique,
+                "queries_total", technique=technique, **labels
             )
             return result
 
