@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke audit audit-smoke trace-smoke stress-smoke
+.PHONY: test test-fast bench bench-smoke audit audit-smoke trace-smoke stress-smoke tune-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,12 @@ trace-smoke:
 	$(PYTHON) -m pytest -m obs -q
 	$(PYTHON) -m repro trace --demo tpch --scale 1 --metrics \
 		"SELECT SUM(l_extendedprice) AS revenue FROM lineitem ERROR WITHIN 5% CONFIDENCE 95%"
+
+## Tuner smoke: tuner test suite + public-API snapshot + one live seeded
+## static-vs-tuned replay that must show >= 2x synopsis hit rate.
+tune-smoke:
+	$(PYTHON) -m pytest -q tests/test_public_api.py tests/test_query_options.py tests/test_tuner.py
+	$(PYTHON) -m repro tune-replay --min-improvement 2.0
 
 ## Concurrency hammer: serving frontend + thread-safety audits + one live
 ## overload burst. Wrapped in a hard wall-clock timeout so a deadlock is

@@ -35,7 +35,8 @@ from .core.exceptions import (
     SynopsisError,
     UnsupportedQueryError,
 )
-from .core.result import ApproximateResult, QueryResult
+from .core.options import QUERY_OPTION_FIELDS, QueryOptions
+from .core.result import ENVELOPE_KEYS, ApproximateResult, QueryResult
 from .core.session import AQPEngine
 from .core.tradeoff import (
     TECHNIQUE_PROFILES,
@@ -53,10 +54,13 @@ __all__ = [
     "ApproximateResult",
     "BindError",
     "Database",
+    "ENVELOPE_KEYS",
     "ErrorSpec",
     "ErrorSpecError",
     "InfeasiblePlanError",
     "PlanError",
+    "QUERY_OPTION_FIELDS",
+    "QueryOptions",
     "QueryResult",
     "ReproError",
     "SQLError",

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from . import Database
+from .core.options import QueryOptions
 from .core.result import ApproximateResult
 from .workloads import generate_ssb, generate_tpch
 
@@ -130,7 +131,7 @@ def run_query(db: Database, sql: str, seed: int) -> str:
     from .obs.explain import ExplainResult
 
     try:
-        result = db.sql(sql, seed=seed)
+        result = db.sql(sql, options=QueryOptions(seed=seed))
     except Exception as exc:  # surface library errors cleanly
         return f"error: {type(exc).__name__}: {exc}"
     if isinstance(result, str):  # EXPLAIN: plan text, nothing ran
@@ -334,7 +335,9 @@ def run_shardbench(argv: List[str]) -> int:
     try:
         with inject(injector):
             result = executor.sql(
-                query, spec=spec, seed=args.seed, mode=args.mode
+                query,
+                options=QueryOptions(spec=spec, seed=args.seed),
+                mode=args.mode,
             )
     except QueryRefused as exc:
         print(f"refused: {exc}")
@@ -465,10 +468,12 @@ def run_servebench(argv: List[str]) -> int:
             try:
                 t = frontend.submit(
                     query,
-                    tenant=f"client{client_id}",
-                    priority="interactive" if i % 2 else "batch",
-                    spec=spec,
-                    seed=client_id * 1000 + i,
+                    options=QueryOptions(
+                        tenant=f"client{client_id}",
+                        priority="interactive" if i % 2 else "batch",
+                        spec=spec,
+                        seed=client_id * 1000 + i,
+                    ),
                 )
                 with lock:
                     tickets.append(t)
@@ -535,6 +540,166 @@ def run_servebench(argv: List[str]) -> int:
     lost = burst - served - refused - sum(rejected.values())
     if lost:
         print(f"LOST QUERIES: {lost}")
+        return 1
+    return 0
+
+
+def run_tune(argv: List[str]) -> int:
+    """``python -m repro tune``: one tuning session over a live workload.
+
+    Generates (or loads) a database, replays a seeded two-phase workload
+    through it with a :class:`~repro.tuner.TuningDaemon` observing, and
+    prints each tuning cycle's decisions plus the final catalog.
+    """
+    from .offline.catalog import SynopsisCatalog
+    from .tuner import TuningDaemon, WorkloadLog, install_workload_log
+    from .tuner.replay import (
+        make_replay_database,
+        run_replay,
+        two_phase_workload,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="Run the synopsis tuner against a seeded workload",
+    )
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument(
+        "--queries", type=int, default=60, help="queries per workload phase"
+    )
+    parser.add_argument(
+        "--tune-every",
+        type=int,
+        default=15,
+        dest="tune_every",
+        help="run a tuning cycle every N queries",
+    )
+    parser.add_argument(
+        "--budget-rows",
+        type=int,
+        default=10_000,
+        dest="budget_rows",
+        help="tuner storage budget in sample rows",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    db = make_replay_database(args.seed, rows=args.rows)
+    # One phase of memory: when the workload shifts, old demand ages out
+    # of the log, the entries it justified go cold, and the daemon
+    # evicts them to fund the new phase's synopses.
+    log = WorkloadLog(capacity=args.queries)
+    daemon = TuningDaemon(
+        db,
+        log,
+        storage_budget_rows=args.budget_rows,
+        sample_fraction=0.15,
+        seed=args.seed,
+        min_demand=2,
+    )
+    queries = two_phase_workload(args.seed, queries_per_phase=args.queries)
+    previous = install_workload_log(log)
+    try:
+        report = run_replay(
+            db, queries, seed=args.seed, daemon=daemon,
+            tune_every=args.tune_every,
+        )
+    finally:
+        install_workload_log(previous)
+
+    print(
+        f"{report.total} queries ({report.served} served, "
+        f"{report.refused} refused), {len(report.tuning)} tuning cycles"
+    )
+    for cycle in report.tuning:
+        built = ", ".join(b["key"] for b in cycle["built"]) or "-"
+        evicted = ", ".join(e["key"] for e in cycle["evicted"]) or "-"
+        print(
+            f"  cycle {cycle['cycle']} ({cycle['triggered_by']}): "
+            f"built [{built}] evicted [{evicted}] "
+            f"churn={cycle['column_churn']:.2f} "
+            f"miss={cycle['error_miss_rate']:.2f}"
+        )
+    catalog = SynopsisCatalog.for_database(db)
+    print(f"catalog after tuning ({len(catalog.samples)} entries):")
+    for entry in catalog.samples:
+        cols = (
+            entry.strata_column or entry.measure_column or "-"
+        )
+        print(
+            f"  {entry.table}: {entry.kind:<15} cols={cols} "
+            f"rows={entry.sample.num_rows} source={entry.source} "
+            f"v{entry.version}"
+        )
+    print(f"offline hit rate: {report.hit_rate:.1%}")
+    return 0
+
+
+def run_tune_replay_cli(argv: List[str]) -> int:
+    """``python -m repro tune-replay``: static-vs-tuned comparison.
+
+    Replays the seeded two-phase workload twice over identical data —
+    once against the static hand-built catalog, once with the tuning
+    daemon active — and prints both synopsis hit rates plus the
+    improvement factor. Deterministic given the seed.
+    """
+    from .tuner import run_tune_replay
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune-replay",
+        description="Replay a two-phase workload static vs. tuned",
+    )
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument(
+        "--queries", type=int, default=60, help="queries per workload phase"
+    )
+    parser.add_argument(
+        "--tune-every", type=int, default=15, dest="tune_every"
+    )
+    parser.add_argument(
+        "--budget-rows", type=int, default=10_000, dest="budget_rows"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-improvement",
+        type=float,
+        default=None,
+        dest="min_improvement",
+        help="exit 1 unless tuned/static hit rate >= this factor",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_tune_replay(
+        seed=args.seed,
+        rows=args.rows,
+        queries_per_phase=args.queries,
+        tune_every=args.tune_every,
+        storage_budget_rows=args.budget_rows,
+    )
+    static, tuned = doc["static"], doc["tuned"]
+    print(f"{doc['queries']} queries replayed twice (seed {doc['seed']})")
+    for label, rep in (("static", static), ("tuned", tuned)):
+        techniques = ", ".join(
+            f"{k}={v}" for k, v in sorted(rep["techniques"].items())
+        )
+        print(
+            f"  {label:<7} hit rate {rep['hit_rate']:.1%} "
+            f"({rep['offline_hits']}/{rep['served']} offline)  "
+            f"[{techniques}]"
+        )
+    print(
+        f"  tuning cycles: {tuned['tuning_cycles']}, "
+        f"decisions: {len(tuned['decisions'])}"
+    )
+    print(f"improvement: {doc['improvement']:.2f}x")
+    if (
+        args.min_improvement is not None
+        and doc["improvement"] < args.min_improvement
+    ):
+        print(
+            f"FAIL: improvement {doc['improvement']:.2f}x below "
+            f"required {args.min_improvement:.2f}x"
+        )
         return 1
     return 0
 
@@ -665,6 +830,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_servebench(argv[1:])
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
+    if argv and argv[0] == "tune":
+        return run_tune(argv[1:])
+    if argv and argv[0] == "tune-replay":
+        return run_tune_replay_cli(argv[1:])
     args = build_parser().parse_args(argv)
     db = make_database(args)
     print(f"tables: {', '.join(db.table_names)}", file=sys.stderr)

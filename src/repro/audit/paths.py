@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..core.errorspec import ErrorSpec
+from ..core.options import QueryOptions
 from ..core.exceptions import (
     InfeasiblePlanError,
     QueryRefused,
@@ -345,10 +346,67 @@ def _offline_blinkdb(ctx: AuditContext, seed: int) -> TrialResult:
     ]
     exact = ctx.oracle.groups(_OFFLINE_SQL, "flag", "rev")
     try:
-        result = db.sql(_OFFLINE_SQL, spec=spec, technique="offline_sample")
+        result = db.sql(
+            _OFFLINE_SQL,
+            options=QueryOptions(spec=spec, technique="offline_sample"),
+        )
     except (InfeasiblePlanError, UnsupportedQueryError):
         return TrialResult(math.nan, math.nan, hit=False, refused=True)
     return _grouped_ci_trial(result, exact, "flag", "rev")
+
+
+def _tuned_synopsis(ctx: AuditContext, seed: int) -> TrialResult:
+    """Audit a synopsis the tuner built, not a hand-placed one.
+
+    Per trial: a workload log full of grouped-SUM demand drives one
+    :class:`~repro.tuner.TuningDaemon` cycle against an empty catalog;
+    the daemon's stratified sample (seeded from the trial seed) then
+    answers the grouped query through the offline rewriter. The joint
+    CI must cover the exact per-group answers at the claimed rate —
+    the guarantee must survive the catalog being machine-chosen.
+    """
+    from ..tuner import QueryFingerprint, TuningDaemon, WorkloadLog
+
+    rng = np.random.default_rng(ctx.DATA_SEED)
+    rows = int(20_000 * max(ctx.scale, 0.25))
+    db = Database()
+    db.create_table(
+        "events",
+        {
+            "seg": rng.integers(0, 8, rows),
+            "v": rng.exponential(10.0, rows),
+        },
+    )
+    log = WorkloadLog()
+    log.extend(
+        QueryFingerprint(
+            table="events",
+            group_columns=("seg",),
+            agg_family="sum",
+            measure_columns=("v",),
+            technique="quickr",
+        )
+        for _ in range(8)
+    )
+    daemon = TuningDaemon(
+        db, log, storage_budget_rows=8_000, sample_fraction=0.3, seed=seed
+    )
+    report = daemon.run_cycle(triggered_by="manual")
+    if report.failed or not report.built:
+        return TrialResult(math.nan, math.nan, hit=False, refused=True)
+    sql = "SELECT seg, SUM(v) AS s FROM events GROUP BY seg"
+    exact = _group_sums(db.table("events"), "seg", "v")
+    spec = ErrorSpec(relative_error=0.20, confidence=0.95)
+    try:
+        result = db.sql(
+            sql,
+            options=QueryOptions(
+                spec=spec, technique="offline_sample", seed=seed
+            ),
+        )
+    except (InfeasiblePlanError, UnsupportedQueryError):
+        return TrialResult(math.nan, math.nan, hit=False, refused=True)
+    return _grouped_ci_trial(result, exact, "seg", "s")
 
 
 def _sample_seek(ctx: AuditContext, seed: int) -> TrialResult:
@@ -408,9 +466,9 @@ def _degraded_stale_widened(ctx: AuditContext, seed: int) -> TrialResult:
     try:
         result = engine.sql(
             "SELECT SUM(value) AS s FROM events",
-            spec=spec,
-            seed=seed,
-            technique="offline_sample",
+            options=QueryOptions(
+                spec=spec, seed=seed, technique="offline_sample"
+            ),
         )
     except QueryRefused:
         return TrialResult(math.nan, math.nan, hit=False, refused=True)
@@ -451,8 +509,7 @@ def _degraded_missing_shard(ctx: AuditContext, seed: int) -> TrialResult:
         with inject(FaultInjector([kill_shard(victim)])):
             result = executor.sql(
                 "SELECT SUM(value) AS s FROM exp_t",
-                spec=spec,
-                seed=seed,
+                options=QueryOptions(spec=spec, seed=seed),
                 mode="ola",
             )
     except QueryRefused:
@@ -560,7 +617,10 @@ def _pilot_engine(ctx: AuditContext, seed: int) -> TrialResult:
     spec = ErrorSpec(relative_error=0.10, confidence=0.95)
     truth = ctx.oracle.scalar(_PILOT_SQL)
     try:
-        result = db.sql(_PILOT_SQL, spec=spec, technique="pilot", seed=seed)
+        result = db.sql(
+            _PILOT_SQL,
+            options=QueryOptions(spec=spec, technique="pilot", seed=seed),
+        )
     except (InfeasiblePlanError, UnsupportedQueryError):
         return TrialResult(math.nan, math.nan, hit=False, refused=True)
     if not result.is_approximate:
@@ -579,7 +639,10 @@ def _quickr_engine(ctx: AuditContext, seed: int) -> TrialResult:
     spec = ErrorSpec(relative_error=0.10, confidence=0.95)
     exact = ctx.oracle.groups(_QUICKR_SQL, "flag", "rev")
     try:
-        result = db.sql(_QUICKR_SQL, spec=spec, technique="quickr", seed=seed)
+        result = db.sql(
+            _QUICKR_SQL,
+            options=QueryOptions(spec=spec, technique="quickr", seed=seed),
+        )
     except (InfeasiblePlanError, UnsupportedQueryError):
         return TrialResult(math.nan, math.nan, hit=False, refused=True)
     return _grouped_ci_trial(result, exact, "flag", "rev")
@@ -751,6 +814,20 @@ def build_paths() -> List[AuditPath]:
                 "grouped TPC-H query through the rewriter (joint coverage)"
             ),
             run=_offline_blinkdb,
+            heavy=True,
+        ),
+        AuditPath(
+            name="tuned_synopsis",
+            family="offline",
+            claim="ci",
+            claimed_coverage=0.95,
+            description=(
+                "Stratified sample chosen and built by the workload-"
+                "adaptive tuner (one daemon cycle over synthetic grouped "
+                "demand) answering the grouped query it was tuned for "
+                "(joint coverage)"
+            ),
+            run=_tuned_synopsis,
             heavy=True,
         ),
         AuditPath(

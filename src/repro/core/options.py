@@ -1,0 +1,178 @@
+"""The unified per-query options object shared by every ``sql()`` front door.
+
+The system grew five query entry points — :meth:`AQPEngine.sql`,
+:meth:`Database.sql`, :meth:`ResilientEngine.sql`,
+:meth:`ScatterGatherExecutor.sql`, and :meth:`ServingFrontend.submit` —
+each with its own drifting keyword list. :class:`QueryOptions` collapses
+them onto one dataclass: every entry point accepts ``options=`` carrying
+the same fields, so a query's *intent* (seed, error contract, technique,
+deadline, tenant, ...) has exactly one spelling no matter which door it
+walks through. That uniformity is what makes workload fingerprints
+comparable across front doors — the :mod:`repro.tuner` reads the same
+object everywhere.
+
+Back-compat: the old per-entry keywords still work as ``**kwargs`` shims
+(``db.sql(q, seed=7)``), but they emit :class:`DeprecationWarning` and
+will eventually be removed; *unknown* keywords raise :class:`TypeError`
+at the call site (not deep inside a worker thread), closing the old
+serving-frontend hole where a typo'd kwarg only surfaced as a late
+ticket exception.
+
+Fields an entry point cannot honor are accepted but inert (documented
+per entry point) — passing ``entry_rung`` to the exact
+:meth:`Database.sql` path is not an error, the same way passing a
+``deadline`` to a query that finishes early is not.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from .errorspec import ErrorSpec
+
+__all__ = [
+    "QueryOptions",
+    "QUERY_OPTION_FIELDS",
+    "resolve_options",
+    "maybe_trace",
+]
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Everything a caller may ask of one query, in one object.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for any sampling this query performs (reproducibility).
+    spec:
+        Error contract (:class:`~repro.core.errorspec.ErrorSpec`);
+        overrides / replaces an ``ERROR WITHIN`` SQL clause.
+    technique:
+        Force one technique (``"exact"``, ``"pilot"``, ``"quickr"``,
+        ``"offline_sample"``) instead of letting the advisor choose. The
+        scatter-gather executor additionally understands ``"ola"`` and
+        ``"sample"`` (its per-shard modes).
+    pilot_rate:
+        Stage-1 sampling rate for pilot-style online planners.
+    deadline / budget:
+        Cooperative :class:`~repro.resilience.deadline.Deadline` /
+        :class:`~repro.resilience.deadline.ResourceBudget` bounding the
+        query.
+    entry_rung:
+        Start the degradation ladder below ``requested`` (overload
+        shedding / operator override); inert on entry points without a
+        ladder.
+    tenant / priority:
+        Multi-tenant attribution and admission-queue class. Outside the
+        serving frontend these only label spans/metrics/fingerprints.
+    trace:
+        When true and no ambient tracer is active, run the query under a
+        fresh :class:`~repro.obs.trace.Tracer` (reachable afterwards via
+        :func:`maybe_trace`'s yielded handle).
+    """
+
+    seed: Optional[int] = None
+    spec: Optional[ErrorSpec] = None
+    technique: Optional[str] = None
+    pilot_rate: float = 0.01
+    deadline: Optional[object] = None
+    budget: Optional[object] = None
+    entry_rung: Optional[str] = None
+    tenant: str = "default"
+    priority: str = "interactive"
+    trace: bool = False
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "QueryOptions":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ish view (spec flattened; deadline/budget by repr)."""
+        return {
+            "seed": self.seed,
+            "spec": (
+                {
+                    "relative_error": self.spec.relative_error,
+                    "confidence": self.spec.confidence,
+                }
+                if self.spec is not None
+                else None
+            ),
+            "technique": self.technique,
+            "pilot_rate": self.pilot_rate,
+            "deadline": repr(self.deadline) if self.deadline else None,
+            "budget": repr(self.budget) if self.budget else None,
+            "entry_rung": self.entry_rung,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "trace": self.trace,
+        }
+
+
+#: the canonical field list every ``sql()`` entry point accepts
+QUERY_OPTION_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(QueryOptions)
+)
+
+
+def resolve_options(
+    options: Optional[QueryOptions] = None,
+    kwargs: Optional[Mapping[str, Any]] = None,
+    entry: str = "sql()",
+    stacklevel: int = 3,
+) -> QueryOptions:
+    """Merge an ``options=`` object with legacy keyword arguments.
+
+    * unknown keywords raise :class:`TypeError` immediately (admission
+      time, caller thread — never inside a worker);
+    * known legacy keywords emit one :class:`DeprecationWarning` naming
+      them, then override the corresponding ``options`` fields;
+    * with neither, the defaults apply.
+    """
+    if options is not None and not isinstance(options, QueryOptions):
+        raise TypeError(
+            f"{entry}: options must be a QueryOptions, "
+            f"got {type(options).__name__}"
+        )
+    kwargs = dict(kwargs or {})
+    if not kwargs:
+        return options if options is not None else QueryOptions()
+    unknown = sorted(set(kwargs) - set(QUERY_OPTION_FIELDS))
+    if unknown:
+        raise TypeError(
+            f"{entry} got unexpected query option(s) {unknown}; "
+            f"valid QueryOptions fields: {list(QUERY_OPTION_FIELDS)}"
+        )
+    warnings.warn(
+        f"passing {sorted(kwargs)} as keyword argument(s) to {entry} is "
+        "deprecated; pass options=QueryOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    base = options if options is not None else QueryOptions()
+    return dataclasses.replace(base, **kwargs)
+
+
+@contextlib.contextmanager
+def maybe_trace(options: QueryOptions) -> Iterator[Optional[object]]:
+    """Honor ``options.trace``: ensure a tracer is active for the body.
+
+    Yields the tracer that will record the query's spans — the ambient
+    one if tracing is already on, a fresh one if ``trace=True`` turned
+    it on for this query, or ``None`` when tracing stays off.
+    """
+    from ..obs.trace import Tracer, current_tracer, trace_scope
+
+    ambient = current_tracer()
+    if not options.trace or ambient is not None:
+        yield ambient
+        return
+    tracer = Tracer()
+    with trace_scope(tracer):
+        yield tracer

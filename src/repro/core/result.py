@@ -8,6 +8,12 @@ Two result types are returned to users:
   intervals, the technique that produced them, and enough diagnostics to
   audit the guarantee (fraction of data read, estimated speedup, planner
   decisions).
+
+Both (plus :class:`~repro.obs.explain.ExplainResult`, which wraps one of
+them) expose the **common result envelope**: ``value()`` / ``values()``,
+``ci()``, ``provenance``, ``stats``, and ``to_dict()`` with the exact
+key set :data:`ENVELOPE_KEYS` — so tooling (the CLI, the workload tuner,
+dashboards) can consume any front door's answer without type-switching.
 """
 
 from __future__ import annotations
@@ -22,9 +28,93 @@ from ..engine.executor import ExecutionStats
 from ..engine.table import Table
 from .errorspec import ErrorSpec
 
+#: the exact top-level key set of every result's ``to_dict()`` envelope
+ENVELOPE_KEYS: Tuple[str, ...] = (
+    "kind",
+    "technique",
+    "values",
+    "ci",
+    "provenance",
+    "stats",
+)
+
+
+class ResultEnvelope:
+    """Shared surface of every result type (see module docstring).
+
+    Implementors provide ``table``, ``stats``, ``provenance``, and
+    optionally ``ci_low``/``ci_high``/``technique``; the envelope
+    methods are derived uniformly from those.
+    """
+
+    # -- values --------------------------------------------------------
+    def values(self) -> Dict[str, List[object]]:
+        """All output columns as plain Python lists, keyed by alias."""
+        table = self.table
+        return {
+            name: np.asarray(table[name]).tolist()
+            for name in table.column_names
+        }
+
+    def value(self, alias: Optional[str] = None, row: int = 0) -> float:
+        """One output cell as a float; bare ``value()`` needs one row."""
+        table = self.table
+        if alias is None:
+            return self.scalar()
+        return float(table[alias][row])
+
+    # -- confidence intervals ------------------------------------------
+    def ci(
+        self, alias: Optional[str] = None, row: Optional[int] = None
+    ) -> object:
+        """CI bounds, uniformly across exact and approximate results.
+
+        ``ci()`` returns ``{alias: [(low, high), ...]}`` for every
+        aggregate that carries intervals (empty for exact results, whose
+        answers need none); ``ci(alias, row)`` returns one ``(low,
+        high)`` tuple — for exact results the zero-width interval at the
+        value, the honest reading of "no sampling error".
+        """
+        ci_low = getattr(self, "ci_low", None) or {}
+        ci_high = getattr(self, "ci_high", None) or {}
+        if alias is None:
+            return {
+                name: list(
+                    zip(
+                        np.asarray(ci_low[name], dtype=np.float64).tolist(),
+                        np.asarray(ci_high[name], dtype=np.float64).tolist(),
+                    )
+                )
+                for name in ci_low
+            }
+        r = 0 if row is None else row
+        if alias in ci_low:
+            return (float(ci_low[alias][r]), float(ci_high[alias][r]))
+        v = float(self.table[alias][r])
+        return (v, v)
+
+    # -- envelope ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The common envelope: exactly :data:`ENVELOPE_KEYS`."""
+        return {
+            "kind": (
+                "approximate"
+                if getattr(self, "is_approximate", False)
+                else "exact"
+            ),
+            "technique": getattr(self, "technique", "exact"),
+            "values": self.values(),
+            "ci": {
+                name: [list(pair) for pair in pairs]
+                for name, pairs in self.ci().items()
+            },
+            "provenance": list(self.provenance),
+            "stats": self.stats.to_dict(),
+        }
+
 
 @dataclass
-class QueryResult:
+class QueryResult(ResultEnvelope):
     """Exact query output."""
 
     table: Table
@@ -83,7 +173,7 @@ class CellEstimate:
 
 
 @dataclass
-class ApproximateResult:
+class ApproximateResult(ResultEnvelope):
     """Approximate query output with confidence intervals.
 
     ``table`` holds the estimated values under the user's output aliases.

@@ -23,6 +23,7 @@ from ..engine.optimizer import optimize_plan
 from ..sql.binder import BoundQuery, bind_sql
 from .errorspec import ErrorSpec
 from .exceptions import UnsupportedQueryError
+from .options import QueryOptions, maybe_trace, resolve_options
 from .result import ApproximateResult, QueryResult
 
 
@@ -33,75 +34,69 @@ class AQPEngine:
         self.database = database
 
     # ------------------------------------------------------------------
-    def sql(
-        self,
-        query: str,
-        seed: Optional[int] = None,
-        spec: Optional[ErrorSpec] = None,
-        technique: Optional[str] = None,
-        pilot_rate: float = 0.01,
-        deadline=None,
-        budget=None,
-    ):
+    def sql(self, query: str, options: Optional[QueryOptions] = None, **kwargs):
         """Run a SQL string, exactly or approximately.
 
         Parameters
         ----------
         query:
             SQL text; may end with ``ERROR WITHIN e% CONFIDENCE c%``.
-        seed:
-            RNG seed for any sampling (reproducible runs).
-        spec:
-            Error specification overriding/replacing the SQL clause.
-        technique:
-            Force a specific technique (``"exact"``, ``"pilot"``,
-            ``"quickr"``, ``"offline_sample"``, ``"sketch"``) instead of
-            letting the advisor choose.
-        pilot_rate:
-            Sampling rate for pilot (stage-1) queries of online planners.
-        deadline / budget:
-            Optional :class:`~repro.resilience.deadline.Deadline` /
-            :class:`~repro.resilience.deadline.ResourceBudget` bounding
-            this query cooperatively. A blown deadline raises
-            ``DeadlineExceeded``; for graceful degradation instead, use
-            :class:`~repro.resilience.ladder.ResilientEngine`.
+        options:
+            A :class:`~repro.core.options.QueryOptions`. This entry
+            point honors ``seed``, ``spec``, ``technique``,
+            ``pilot_rate``, ``deadline``, ``budget``, ``tenant`` (span
+            label only), and ``trace``; ``entry_rung`` is inert (no
+            ladder here — use
+            :class:`~repro.resilience.ladder.ResilientEngine` for
+            graceful degradation). A blown deadline raises
+            ``DeadlineExceeded``.
+        **kwargs:
+            Legacy per-field keywords (``seed=...``, ``spec=...``);
+            deprecated shims for the same fields.
         """
         from ..obs.metrics import get_metrics
         from ..obs.trace import span
         from ..resilience.deadline import deadline_scope
+        from ..tuner.workload import observe_query
 
-        with span("query", engine="aqp", sql=query.strip()[:200]) as qsp:
-            with deadline_scope(deadline, budget):
-                bound = bind_sql(query, self.database)
-                if spec is None and bound.error_spec is not None:
-                    spec = ErrorSpec(
-                        relative_error=bound.error_spec.relative_error,
-                        confidence=bound.error_spec.confidence,
-                    )
-                if spec is None and technique in (None, "exact"):
-                    result = self.execute_exact(bound, seed=seed)
-                elif spec is None:
-                    raise UnsupportedQueryError(
-                        "an error specification is required for approximate "
-                        "execution"
-                    )
-                else:
-                    from .advisor import Advisor
+        options = resolve_options(options, kwargs, entry="AQPEngine.sql()")
+        seed, spec, technique = options.seed, options.spec, options.technique
+        with maybe_trace(options):
+            with span("query", engine="aqp", sql=query.strip()[:200]) as qsp:
+                if options.tenant != "default":
+                    qsp.set(tenant=options.tenant)
+                with deadline_scope(options.deadline, options.budget):
+                    bound = bind_sql(query, self.database)
+                    if spec is None and bound.error_spec is not None:
+                        spec = ErrorSpec(
+                            relative_error=bound.error_spec.relative_error,
+                            confidence=bound.error_spec.confidence,
+                        )
+                    if spec is None and technique in (None, "exact"):
+                        result = self.execute_exact(bound, seed=seed)
+                    elif spec is None:
+                        raise UnsupportedQueryError(
+                            "an error specification is required for "
+                            "approximate execution"
+                        )
+                    else:
+                        from .advisor import Advisor
 
-                    advisor = Advisor(self.database)
-                    result = advisor.run(
-                        bound,
-                        spec,
-                        seed=seed,
-                        force_technique=technique,
-                        pilot_rate=pilot_rate,
-                    )
-            served = getattr(result, "technique", "exact")
-            qsp.set(technique=served, stats=result.stats.to_dict())
-            get_metrics().inc(
-                "queries_total", engine="aqp", technique=served
-            )
-            return result
+                        advisor = Advisor(self.database)
+                        result = advisor.run(
+                            bound,
+                            spec,
+                            seed=seed,
+                            force_technique=technique,
+                            pilot_rate=options.pilot_rate,
+                        )
+                served = getattr(result, "technique", "exact")
+                qsp.set(technique=served, stats=result.stats.to_dict())
+                get_metrics().inc(
+                    "queries_total", engine="aqp", technique=served
+                )
+                observe_query(bound, options.replace(spec=spec), result)
+                return result
 
     # ------------------------------------------------------------------
     def execute_exact(

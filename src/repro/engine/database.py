@@ -174,12 +174,7 @@ class Database:
         )
         return executor.execute(plan)
 
-    def sql(
-        self,
-        query: str,
-        seed: Optional[int] = None,
-        **aqp_options,
-    ):
+    def sql(self, query: str, options: Optional[QueryOptions] = None, **kwargs):
         """Run a SQL string.
 
         Returns a :class:`~repro.core.result.QueryResult` for exact queries
@@ -189,18 +184,24 @@ class Database:
         under a tracer and returns an
         :class:`~repro.obs.explain.ExplainResult` bundling the answer,
         the span tree, and the metrics delta.
+
+        ``options`` is a :class:`~repro.core.options.QueryOptions`; legacy
+        per-field keywords (``seed=...``, ``spec=...``) still work via the
+        deprecation shim.
         """
+        from ..core.options import resolve_options
         from ..core.session import AQPEngine
         from ..sql.parser import split_explain
 
+        options = resolve_options(options, kwargs, entry="Database.sql()")
         mode, inner = split_explain(query)
         if mode == "explain":
             return self.explain(inner)
         if mode == "analyze":
             from ..obs.explain import run_explain_analyze
 
-            return run_explain_analyze(self, inner, seed=seed, **aqp_options)
-        return AQPEngine(self).sql(inner, seed=seed, **aqp_options)
+            return run_explain_analyze(self, inner, options=options)
+        return AQPEngine(self).sql(inner, options=options)
 
     def explain(self, query: str) -> str:
         """Textual optimized plan for a SQL string."""

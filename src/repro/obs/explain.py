@@ -13,14 +13,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from ..core.result import ResultEnvelope
 from .trace import Tracer, render_span_tree, trace_scope
 
 __all__ = ["ExplainResult", "run_explain_analyze"]
 
 
 @dataclass
-class ExplainResult:
-    """What ``EXPLAIN ANALYZE`` hands back: answer + trace + transcript."""
+class ExplainResult(ResultEnvelope):
+    """What ``EXPLAIN ANALYZE`` hands back: answer + trace + transcript.
+
+    Carries the full result envelope (``value()``/``ci()``/
+    ``provenance``/``stats``/``to_dict()``) by delegating to the wrapped
+    answer, so ``EXPLAIN ANALYZE`` output is consumable anywhere a plain
+    result is.
+    """
 
     sql: str
     result: Any
@@ -32,6 +39,34 @@ class ExplainResult:
     def table(self):
         """The underlying result table (EXPLAIN ANALYZE still answers)."""
         return self.result.table
+
+    # -- envelope delegation (see repro.core.result.ResultEnvelope) ----
+    @property
+    def stats(self):
+        return self.result.stats
+
+    @property
+    def provenance(self):
+        return self.result.provenance
+
+    @property
+    def ci_low(self):
+        return getattr(self.result, "ci_low", {})
+
+    @property
+    def ci_high(self):
+        return getattr(self.result, "ci_high", {})
+
+    @property
+    def technique(self):
+        return getattr(self.result, "technique", "exact")
+
+    @property
+    def is_approximate(self):
+        return getattr(self.result, "is_approximate", False)
+
+    def scalar(self) -> float:
+        return self.result.scalar()
 
     def render(self, show_timing: bool = True) -> str:
         lines = [f"EXPLAIN ANALYZE {self.sql}"]
@@ -62,7 +97,7 @@ class ExplainResult:
 def run_explain_analyze(
     database,
     sql: str,
-    seed: Optional[int] = None,
+    options=None,
     tracer: Optional[Tracer] = None,
     **aqp_options,
 ) -> ExplainResult:
@@ -70,10 +105,17 @@ def run_explain_analyze(
 
     ``sql`` here is the *inner* query (the ``EXPLAIN ANALYZE`` prefix
     already stripped by :func:`repro.sql.parser.split_explain`).
+    ``options`` is a :class:`~repro.core.options.QueryOptions`; legacy
+    keywords (``seed=...``) still work through the deprecation shim.
     """
+    from ..core.options import resolve_options
+
+    options = resolve_options(
+        options, aqp_options, entry="run_explain_analyze()"
+    )
     tracer = tracer if tracer is not None else Tracer()
     with trace_scope(tracer):
-        result = database.sql(sql, seed=seed, **aqp_options)
+        result = database.sql(sql, options=options)
     try:
         plan_text = database.explain(sql)
     except Exception:  # plans exist only for plannable queries

@@ -27,7 +27,7 @@ __all__ = ["SPAN_SCHEMA", "SPAN_NAME_PATTERN", "REQUIRED_ATTRIBUTES", "validate_
 #: every legal span name (DESIGN.md §2.13); ``shard.<i>`` is per-shard
 SPAN_NAME_PATTERN = (
     r"^(query|plan|optimize|scan|kernel|ola_step|synopsis_build"
-    r"|shard\.[0-9]+|degrade|retry|hedge|fault|admission)$"
+    r"|shard\.[0-9]+|degrade|retry|hedge|fault|admission|tuner_cycle)$"
 )
 
 SPAN_SCHEMA: Dict[str, Any] = {
@@ -87,6 +87,7 @@ REQUIRED_ATTRIBUTES: Dict[str, tuple] = {
     "hedge": ("shard", "attempt"),
     "fault": ("site", "kind", "arrival", "seed"),
     "admission": ("tenant", "priority", "outcome"),
+    "tuner_cycle": ("cycle", "triggered_by", "log_size"),
 }
 
 _TYPE_CHECKS = {

@@ -38,6 +38,10 @@ class SampleEntry:
     #: the entry covers the whole table. Shard entries only answer
     #: shard-aware lookups (and vice versa) — see :meth:`find_sample`.
     shard: Optional[int] = None
+    #: who materialized this entry: ``"manual"`` (hand-registered, the
+    #: historical default) or ``"tuner"`` (the workload-adaptive tuner —
+    #: only tuner-sourced entries are eligible for tuner eviction).
+    source: str = "manual"
 
     @property
     def storage_rows(self) -> int:

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.exceptions import SynopsisError
 from ..sampling.base import WeightedSample
+from ..sampling.measure_biased import measure_biased_sample
 from ..sampling.reservoir import ReservoirSampler
 from ..sampling.row import srs_sample
 from ..sampling.stratified import stratified_sample
@@ -115,6 +116,13 @@ class MaintenanceSimulator:
                 else list(entry.strata_column),
                 total_size=entry.sample.num_rows,
                 policy="congress",
+                rng=self.rng,
+            )
+        elif entry.kind == "measure_biased" and entry.measure_column:
+            entry.sample = measure_biased_sample(
+                base,
+                entry.measure_column,
+                entry.sample.num_rows,
                 rng=self.rng,
             )
         else:

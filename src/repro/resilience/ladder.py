@@ -177,17 +177,7 @@ class ResilientEngine:
             return self.breakers[rung]
 
     # ------------------------------------------------------------------
-    def sql(
-        self,
-        query: str,
-        seed: Optional[int] = None,
-        spec: Optional[ErrorSpec] = None,
-        technique: Optional[str] = None,
-        pilot_rate: float = 0.01,
-        deadline: Optional[Deadline] = None,
-        budget: Optional[ResourceBudget] = None,
-        entry_rung: Optional[str] = None,
-    ):
+    def sql(self, query: str, options: Optional[QueryOptions] = None, **kwargs):
         """Serve one query through the degradation ladder.
 
         Returns a :class:`QueryResult` or :class:`ApproximateResult`
@@ -195,22 +185,34 @@ class ResilientEngine:
         :class:`QueryRefused` (with the same provenance) only when every
         rung failed or the deadline left nothing runnable.
 
-        ``entry_rung`` starts the fall-through at a lower rung than
-        ``requested`` — the overload controller's lever: under load the
-        serving layer shrinks the entry rung *fleet-wide* so accuracy
-        degrades before availability does. Rungs skipped this way are
-        recorded in provenance with ``shed_to=<rung>`` so a degraded
-        answer is always distinguishable from a failed one. An
+        ``options`` is a :class:`~repro.core.options.QueryOptions`;
+        legacy per-field keywords still work via the deprecation shim.
+        ``options.entry_rung`` starts the fall-through at a lower rung
+        than ``requested`` — the overload controller's lever: under load
+        the serving layer shrinks the entry rung *fleet-wide* so
+        accuracy degrades before availability does. Rungs skipped this
+        way are recorded in provenance with ``shed_to=<rung>`` so a
+        degraded answer is always distinguishable from a failed one. An
         ``entry_rung`` that does not apply to this query (e.g. a
         spec-less query whose only rung is exact) is ignored rather
         than refused: shedding must never make a query less servable.
         """
+        from ..core.options import maybe_trace, resolve_options
+        from ..tuner.workload import observe_query
+
+        options = resolve_options(options, kwargs, entry="ResilientEngine.sql()")
+        seed, spec, technique = options.seed, options.spec, options.technique
+        pilot_rate = options.pilot_rate
+        deadline, budget = options.deadline, options.budget
+        entry_rung = options.entry_rung
         if entry_rung is not None and entry_rung not in LADDER_RUNGS:
             raise ValueError(
                 f"unknown entry rung {entry_rung!r} (expected one of "
                 f"{LADDER_RUNGS})"
             )
-        with span("query", engine="ladder", sql=query.strip()[:200]) as qsp:
+        with maybe_trace(options), span(
+            "query", engine="ladder", sql=query.strip()[:200]
+        ) as qsp:
             with deadline_scope(deadline, budget):
                 bound = bind_sql(query, self.database)
             if spec is None and bound.error_spec is not None:
@@ -335,6 +337,7 @@ class ResilientEngine:
                         ),
                         stacklevel=2,
                     )
+                observe_query(bound, options.replace(spec=spec), result)
                 return result
             get_metrics().inc("queries_refused_total", engine="ladder")
             raise QueryRefused(

@@ -46,12 +46,12 @@ import zlib
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional
 
-from ..core.errorspec import ErrorSpec
 from ..core.exceptions import QueryRejected, QueryRefused, ReproError
+from ..core.options import QueryOptions, resolve_options
 from ..engine.database import Database
 from ..obs.metrics import get_metrics
 from ..obs.trace import span
-from ..resilience.deadline import Deadline, ResourceBudget, deadline_scope
+from ..resilience.deadline import Deadline, deadline_scope
 from ..resilience.faults import query_scope, splitmix64
 from ..resilience.ladder import ResilientEngine
 from ..storage.cost import scan_cost
@@ -133,12 +133,7 @@ class _QueueEntry:
         "sort_key",
         "enqueued_at",
         "estimate",
-        "seed",
-        "spec",
-        "technique",
-        "pilot_rate",
-        "deadline",
-        "budget",
+        "options",
         "no_shed",
     )
 
@@ -315,18 +310,19 @@ class ServingFrontend:
     def submit(
         self,
         query: str,
-        tenant: str = "default",
-        priority: str = "interactive",
-        seed: Optional[int] = None,
-        spec: Optional[ErrorSpec] = None,
-        technique: Optional[str] = None,
-        pilot_rate: float = 0.01,
-        deadline: Optional[Deadline] = None,
-        budget: Optional[ResourceBudget] = None,
+        options: Optional[QueryOptions] = None,
         query_id: Optional[int] = None,
         no_shed: bool = False,
+        **kwargs,
     ) -> QueryTicket:
         """Admit one query; returns a :class:`QueryTicket` immediately.
+
+        ``options`` is a :class:`~repro.core.options.QueryOptions`
+        (tenant and priority live there now); legacy per-field keywords
+        (``tenant=...``, ``spec=...``) still work via the deprecation
+        shim. *Unknown* keywords raise :class:`TypeError` right here in
+        the caller's thread — never as a late ticket exception inside a
+        worker.
 
         Raises :class:`QueryRejected` *synchronously* when the tenant's
         budget has no room (``reason="budget"``) or the admission queue
@@ -335,6 +331,10 @@ class ServingFrontend:
         overload controller's entry-rung override (operator escape
         hatch; it still pays admission).
         """
+        options = resolve_options(
+            options, kwargs, entry="ServingFrontend.submit()"
+        )
+        tenant, priority = options.tenant, options.priority
         if priority not in PRIORITY_CLASSES:
             raise ValueError(
                 f"unknown priority {priority!r} "
@@ -378,12 +378,7 @@ class ServingFrontend:
             )
             entry.enqueued_at = self.clock()
             entry.estimate = estimate
-            entry.seed = seed
-            entry.spec = spec
-            entry.technique = technique
-            entry.pilot_rate = pilot_rate
-            entry.deadline = deadline
-            entry.budget = budget
+            entry.options = options
             entry.no_shed = no_shed
             with self._lock:
                 if self._closed or len(self._queue) >= self.max_queue:
@@ -414,9 +409,22 @@ class ServingFrontend:
             )
         return ticket
 
-    def sql(self, query: str, timeout: Optional[float] = None, **kwargs):
-        """Blocking convenience: submit + wait for the answer."""
-        return self.submit(query, **kwargs).result(timeout=timeout)
+    def sql(
+        self,
+        query: str,
+        options: Optional[QueryOptions] = None,
+        timeout: Optional[float] = None,
+        **kwargs,
+    ):
+        """Blocking convenience: submit + wait for the answer.
+
+        Unknown keywords raise :class:`TypeError` here, at submit time
+        in the caller's thread — not as a late ticket exception.
+        """
+        options = resolve_options(
+            options, kwargs, entry="ServingFrontend.sql()"
+        )
+        return self.submit(query, options=options).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # Service (worker threads)
@@ -468,24 +476,17 @@ class ServingFrontend:
             return
         entry_rung = None if entry.no_shed else self.controller.entry_rung()
         ticket.shed_to = entry_rung
-        deadline = entry.deadline
+        options = entry.options
+        deadline = options.deadline
         if deadline is None and self.default_deadline_s is not None:
             deadline = Deadline(self.default_deadline_s, clock=self.clock)
+        options = options.replace(deadline=deadline, entry_rung=entry_rung)
         result = None
         error: Optional[BaseException] = None
         try:
             with query_scope(ticket.query_id):
-                with deadline_scope(deadline, entry.budget):
-                    result = self.engine.sql(
-                        ticket.query,
-                        seed=entry.seed,
-                        spec=entry.spec,
-                        technique=entry.technique,
-                        pilot_rate=entry.pilot_rate,
-                        deadline=deadline,
-                        budget=entry.budget,
-                        entry_rung=entry_rung,
-                    )
+                with deadline_scope(deadline, options.budget):
+                    result = self.engine.sql(ticket.query, options=options)
         except ReproError as exc:
             error = exc
         except Exception as exc:  # noqa: BLE001 — never hang a ticket

@@ -90,6 +90,15 @@ __all__ = ["ScatterGatherExecutor", "ShardOutcome", "SCATTER_RUNG"]
 #: provenance rung name for the per-shard fan-out steps
 SCATTER_RUNG = "scatter_gather"
 
+#: how a QueryOptions ``technique`` maps onto this executor's per-shard
+#: ``mode`` when the caller leaves ``mode`` at its default
+_TECHNIQUE_MODES = {
+    "exact": "exact",
+    "ola": "ola",
+    "sample": "sample",
+    "offline_sample": "sample",
+}
+
 
 class _StragglerAbandoned(ReproError):
     """Internal: a primary shard attempt gave way to its hedge."""
@@ -264,31 +273,43 @@ class ScatterGatherExecutor:
     def sql(
         self,
         query: str,
-        spec: Optional[ErrorSpec] = None,
-        seed: Optional[int] = None,
+        options: Optional[QueryOptions] = None,
         mode: str = "exact",
-        deadline: Optional[Deadline] = None,
-        budget: Optional[ResourceBudget] = None,
-        tenant: str = "",
+        **kwargs,
     ):
         """Serve one aggregate query from the shards.
 
         ``mode`` picks the per-shard technique: ``"exact"`` scans the
         shard, ``"ola"`` runs a fixed-stop online-aggregation snapshot
         per shard, ``"sample"`` answers from registered per-shard
-        samples. Returns :class:`QueryResult` (exact, full coverage, no
+        samples. When ``mode`` is left at its default,
+        ``options.technique`` maps onto it (``"ola"`` → ola,
+        ``"sample"``/``"offline_sample"`` → sample, ``"exact"`` →
+        exact). Returns :class:`QueryResult` (exact, full coverage, no
         spec) or :class:`ApproximateResult`; raises
         :class:`QueryRefused` below the coverage floor or when a missing
         shard cannot be honestly widened.
 
-        ``tenant`` labels the query span and work metrics so a
-        multi-tenant serving layer can attribute shard work; the
-        tenant's deadline/budget arrive through the ambient
-        ``deadline_scope`` (or the explicit parameters) either way.
+        ``options`` is a :class:`~repro.core.options.QueryOptions`;
+        legacy per-field keywords (``spec=...``, ``tenant=...``) still
+        work via the deprecation shim. ``options.tenant`` labels the
+        query span and work metrics so a multi-tenant serving layer can
+        attribute shard work; the tenant's deadline/budget arrive
+        through the ambient ``deadline_scope`` (or ``options``) either
+        way.
         """
-        deadline = resolve_deadline(deadline)
-        budget = resolve_budget(budget)
-        with span(
+        from ..core.options import maybe_trace, resolve_options
+
+        options = resolve_options(
+            options, kwargs, entry="ScatterGatherExecutor.sql()"
+        )
+        if mode == "exact" and options.technique is not None:
+            mode = _TECHNIQUE_MODES.get(options.technique, mode)
+        spec, seed = options.spec, options.seed
+        tenant = "" if options.tenant == "default" else options.tenant
+        deadline = resolve_deadline(options.deadline)
+        budget = resolve_budget(options.budget)
+        with maybe_trace(options), span(
             "query", engine="scatter_gather", sql=query.strip()[:200]
         ) as qsp:
             if tenant:

@@ -1,0 +1,320 @@
+"""Workload observation: per-query fingerprints and the bounded log.
+
+A :class:`QueryFingerprint` is the tuner's unit of evidence — what one
+served query *asked of the data* (table, predicate columns, group-by
+columns, aggregate family) and how well the system answered (achieved
+vs. requested relative error, serving technique). Fingerprints carry no
+values and no SQL text, only column names, so logging them is cheap and
+the log can be serialized for replay.
+
+The hook is process-global and opt-in: :func:`install_workload_log`
+arms it, after which every ``sql()`` front door calls
+:func:`observe_query` on the query it just served. With no log
+installed the hook is a no-op costing one attribute read; it never
+raises into the serving path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "QueryFingerprint",
+    "WorkloadLog",
+    "fingerprint_query",
+    "install_workload_log",
+    "get_workload_log",
+    "observe_query",
+]
+
+
+@dataclass(frozen=True)
+class QueryFingerprint:
+    """What one served query asked of the data, and how it went."""
+
+    table: str
+    predicate_columns: Tuple[str, ...] = ()
+    group_columns: Tuple[str, ...] = ()
+    agg_family: str = "none"  # "sum" | "count" | "avg" | ... | "mixed"
+    measure_columns: Tuple[str, ...] = ()
+    technique: str = "exact"
+    tenant: str = "default"
+    requested_error: Optional[float] = None
+    achieved_error: Optional[float] = None
+    #: did the answer honor the requested contract? ``None`` = no contract
+    spec_met: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "table": self.table,
+            "predicate_columns": list(self.predicate_columns),
+            "group_columns": list(self.group_columns),
+            "agg_family": self.agg_family,
+            "measure_columns": list(self.measure_columns),
+            "technique": self.technique,
+            "tenant": self.tenant,
+            "requested_error": self.requested_error,
+            "achieved_error": self.achieved_error,
+            "spec_met": self.spec_met,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QueryFingerprint":
+        return cls(
+            table=str(data["table"]),
+            predicate_columns=tuple(data.get("predicate_columns", ())),
+            group_columns=tuple(data.get("group_columns", ())),
+            agg_family=str(data.get("agg_family", "none")),
+            measure_columns=tuple(data.get("measure_columns", ())),
+            technique=str(data.get("technique", "exact")),
+            tenant=str(data.get("tenant", "default")),
+            requested_error=data.get("requested_error"),
+            achieved_error=data.get("achieved_error"),
+            spec_met=data.get("spec_met"),
+        )
+
+
+def _bare(columns: Iterable[str]) -> List[str]:
+    """Strip table qualifiers: ``events.v`` -> ``v``.
+
+    Fingerprints store bare column names so the advisor can hand them
+    straight to the samplers, which address physical table columns.
+    """
+    return [c.rsplit(".", 1)[-1] for c in columns]
+
+
+def fingerprint_query(bound, options, result) -> Optional[QueryFingerprint]:
+    """Distill one served query into a fingerprint.
+
+    ``bound`` is the :class:`~repro.sql.binder.BoundQuery`, ``options``
+    the resolved :class:`~repro.core.options.QueryOptions` (with the SQL
+    error clause already folded into ``options.spec``), ``result`` the
+    answer. Returns ``None`` for shapes the tuner cannot act on (no
+    table).
+    """
+    if not bound.tables:
+        return None
+    table = bound.tables[0].name
+    predicate: Tuple[str, ...] = ()
+    if bound.where is not None:
+        predicate = tuple(sorted(_bare(bound.where.columns())))
+    group_cols: set = set()
+    for expr, _alias in bound.group_keys:
+        group_cols.update(_bare(expr.columns()))
+    funcs = sorted({agg.func for agg in bound.aggregates})
+    if not funcs:
+        family = "none"
+    elif len(funcs) == 1:
+        family = funcs[0]
+    else:
+        family = "mixed"
+    measures: set = set()
+    for agg in bound.aggregates:
+        if agg.argument is not None:
+            measures.update(_bare(agg.argument.columns()))
+    spec = options.spec
+    requested = spec.relative_error if spec is not None else None
+    achieved: Optional[float] = None
+    spec_met: Optional[bool] = None
+    if getattr(result, "is_approximate", False):
+        try:
+            achieved = float(result.max_relative_half_width())
+        except Exception:
+            achieved = None
+        if requested is not None and achieved is not None:
+            spec_met = achieved <= requested
+    elif requested is not None:
+        # Exact answer to a spec'd query trivially meets the contract —
+        # unless the ladder degraded to get there (contract dropped).
+        spec_met = not getattr(result, "is_degraded", False)
+    return QueryFingerprint(
+        table=table,
+        predicate_columns=predicate,
+        group_columns=tuple(sorted(group_cols)),
+        agg_family=family,
+        measure_columns=tuple(sorted(measures)),
+        technique=str(getattr(result, "technique", "exact")),
+        tenant=options.tenant,
+        requested_error=requested,
+        achieved_error=achieved,
+        spec_met=spec_met,
+    )
+
+
+class WorkloadLog:
+    """Bounded, thread-safe ring of recent query fingerprints.
+
+    ``capacity`` bounds memory; old fingerprints fall off the back, which
+    is also the drift policy's forgetting mechanism — demand that stopped
+    arriving stops being demand.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[QueryFingerprint] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: total ever recorded (survives ring eviction)
+        self.total_recorded = 0
+
+    # ------------------------------------------------------------------
+    def record(self, fingerprint: QueryFingerprint) -> None:
+        with self._lock:
+            self._entries.append(fingerprint)
+            self.total_recorded += 1
+
+    def extend(self, fingerprints: Iterable[QueryFingerprint]) -> None:
+        for fp in fingerprints:
+            self.record(fp)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self, last: Optional[int] = None) -> List[QueryFingerprint]:
+        """A snapshot of the newest ``last`` fingerprints (all if None)."""
+        with self._lock:
+            items = list(self._entries)
+        if last is not None:
+            items = items[-last:]
+        return items
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Demand views (what the advisor consumes)
+    # ------------------------------------------------------------------
+    def tables(self) -> List[str]:
+        counts = Counter(fp.table for fp in self.entries())
+        return [t for t, _ in counts.most_common()]
+
+    def group_demand(self, table: str) -> "Counter[Tuple[str, ...]]":
+        """How often each group-column set was asked of ``table``."""
+        return Counter(
+            fp.group_columns
+            for fp in self.entries()
+            if fp.table == table and fp.group_columns
+        )
+
+    def scalar_demand(self, table: str) -> int:
+        """Ungrouped (scalar-aggregate) queries against ``table``."""
+        return sum(
+            1
+            for fp in self.entries()
+            if fp.table == table and not fp.group_columns and fp.agg_family != "none"
+        )
+
+    def measure_demand(self, table: str) -> "Counter[str]":
+        """SUM/AVG mass per measure column (measure-biased candidates)."""
+        counts: "Counter[str]" = Counter()
+        for fp in self.entries():
+            if fp.table != table or fp.agg_family not in ("sum", "avg"):
+                continue
+            counts.update(fp.measure_columns)
+        return counts
+
+    def error_miss_rate(self, table: Optional[str] = None) -> float:
+        """Fraction of contract-carrying queries that missed their spec."""
+        judged = [
+            fp
+            for fp in self.entries()
+            if fp.spec_met is not None and (table is None or fp.table == table)
+        ]
+        if not judged:
+            return 0.0
+        return sum(1 for fp in judged if not fp.spec_met) / len(judged)
+
+    def column_churn(self, window: int = 0) -> float:
+        """Jaccard distance between old and recent group-column demand.
+
+        Splits the log (or its newest ``window`` entries) in half and
+        compares the *sets* of (table, group-columns) asked in each half:
+        0.0 means the recent workload asks exactly what the old one did,
+        1.0 means no overlap — the drift signal the daemon re-tunes on.
+        """
+        items = self.entries(last=window or None)
+        if len(items) < 4:
+            return 0.0
+        mid = len(items) // 2
+        old = {
+            (fp.table, fp.group_columns) for fp in items[:mid] if fp.group_columns
+        }
+        new = {
+            (fp.table, fp.group_columns) for fp in items[mid:] if fp.group_columns
+        }
+        if not old and not new:
+            return 0.0
+        union = old | new
+        return 1.0 - len(old & new) / len(union)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        entries = self.entries()
+        return {
+            "size": len(entries),
+            "capacity": self.capacity,
+            "total_recorded": self.total_recorded,
+            "tables": self.tables(),
+            "error_miss_rate": round(self.error_miss_rate(), 4),
+            "column_churn": round(self.column_churn(), 4),
+        }
+
+    def to_records(self) -> List[Dict[str, object]]:
+        return [fp.to_dict() for fp in self.entries()]
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Dict[str, object]], capacity: int = 4096
+    ) -> "WorkloadLog":
+        log = cls(capacity=capacity)
+        log.extend(QueryFingerprint.from_dict(r) for r in records)
+        return log
+
+
+# ----------------------------------------------------------------------
+# Process-global observation hook
+# ----------------------------------------------------------------------
+_active_log: Optional[WorkloadLog] = None
+_hook_lock = threading.Lock()
+
+
+def install_workload_log(log: Optional[WorkloadLog]) -> Optional[WorkloadLog]:
+    """Arm (or, with ``None``, disarm) the global observation hook.
+
+    Returns the previously installed log so callers can restore it —
+    tests wrap this in try/finally.
+    """
+    global _active_log
+    with _hook_lock:
+        previous = _active_log
+        _active_log = log
+    return previous
+
+
+def get_workload_log() -> Optional[WorkloadLog]:
+    return _active_log
+
+
+def observe_query(bound, options, result) -> None:
+    """Record one served query into the installed log, if any.
+
+    Called by every ``sql()`` front door after a successful answer.
+    Deliberately swallows all errors: observation must never break
+    serving.
+    """
+    log = _active_log
+    if log is None:
+        return
+    try:
+        fingerprint = fingerprint_query(bound, options, result)
+        if fingerprint is not None:
+            log.record(fingerprint)
+    except Exception:  # noqa: BLE001 — observation is best-effort
+        pass

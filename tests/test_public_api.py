@@ -1,0 +1,73 @@
+"""Public-API snapshot: the golden guard against accidental breakage.
+
+``tests/golden/public_api.json`` records the surface a user programs
+against: the top-level exports, the unified :class:`QueryOptions` field
+list, the result-envelope key set, the tuner package's exports, and the
+exact signatures of every ``sql()`` front door. Any drift fails here —
+an API change must be deliberate: regenerate with ``REPRO_REGOLD=1``
+and review the diff.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+from pathlib import Path
+
+import repro
+import repro.tuner
+from repro.core.options import QUERY_OPTION_FIELDS
+from repro.core.result import ENVELOPE_KEYS
+from repro.core.session import AQPEngine
+from repro.engine.database import Database
+from repro.resilience.ladder import ResilientEngine
+from repro.serving.frontend import ServingFrontend
+from repro.sharding.executor import ScatterGatherExecutor
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGOLD = os.environ.get("REPRO_REGOLD") == "1"
+
+#: every public query entry point whose signature is under contract
+ENTRY_POINTS = {
+    "Database.sql": Database.sql,
+    "AQPEngine.sql": AQPEngine.sql,
+    "ResilientEngine.sql": ResilientEngine.sql,
+    "ScatterGatherExecutor.sql": ScatterGatherExecutor.sql,
+    "ServingFrontend.sql": ServingFrontend.sql,
+    "ServingFrontend.submit": ServingFrontend.submit,
+}
+
+
+def current_api() -> dict:
+    return {
+        "repro_all": sorted(repro.__all__),
+        "tuner_all": sorted(repro.tuner.__all__),
+        "query_option_fields": list(QUERY_OPTION_FIELDS),
+        "envelope_keys": list(ENVELOPE_KEYS),
+        "entry_point_signatures": {
+            name: str(inspect.signature(fn))
+            for name, fn in ENTRY_POINTS.items()
+        },
+    }
+
+
+def test_public_api_golden_matches_code():
+    api = current_api()
+    path = GOLDEN_DIR / "public_api.json"
+    if REGOLD:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(api, indent=2, sort_keys=True) + "\n")
+    committed = json.loads(path.read_text())
+    assert committed == api, (
+        "public API drifted from tests/golden/public_api.json — breaking "
+        "users must be deliberate; regenerate with REPRO_REGOLD=1 and "
+        "review the diff"
+    )
+
+
+def test_every_entry_point_signature_carries_options():
+    for name, fn in ENTRY_POINTS.items():
+        params = inspect.signature(fn).parameters
+        assert "options" in params, name
+        assert params["options"].default is None, name

@@ -1,0 +1,265 @@
+"""The unified QueryOptions front-door contract.
+
+Every ``sql()`` entry point — :meth:`AQPEngine.sql`,
+:meth:`Database.sql`, :meth:`ResilientEngine.sql`,
+:meth:`ScatterGatherExecutor.sql`, :meth:`ServingFrontend.sql` /
+``submit`` — accepts the same ``options=QueryOptions(...)`` object,
+keeps the old per-entry keywords alive behind a DeprecationWarning shim,
+and rejects unknown keywords with TypeError at the call site. Results
+from every door expose the common envelope (:data:`ENVELOPE_KEYS`).
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import Database, ErrorSpec, QueryOptions
+from repro.core.options import (
+    QUERY_OPTION_FIELDS,
+    maybe_trace,
+    resolve_options,
+)
+from repro.core.result import ENVELOPE_KEYS
+from repro.core.session import AQPEngine
+from repro.obs.explain import run_explain_analyze
+from repro.resilience.ladder import ResilientEngine
+from repro.serving import ServingFrontend
+from repro.sharding import ScatterGatherExecutor, ShardedTable
+
+ROWS = 4_000
+SQL = "SELECT SUM(v) AS s FROM events"
+SPEC_SQL = SQL + " ERROR WITHIN 10% CONFIDENCE 95%"
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    rng = np.random.default_rng(7)
+    database = Database()
+    database.create_table(
+        "events",
+        {
+            "v": rng.exponential(10.0, ROWS),
+            "grp": rng.integers(0, 4, ROWS),
+        },
+    )
+    return database
+
+
+def _entry_points(db):
+    """(name, bound sql callable) for all five front doors."""
+    sharded = ShardedTable.from_table(db.table("events"), 4)
+    frontend = ServingFrontend(db, workers=1, seed=0)
+    return [
+        ("Database.sql", db.sql),
+        ("AQPEngine.sql", AQPEngine(db).sql),
+        ("ResilientEngine.sql", ResilientEngine(db, warn_on_degrade=False).sql),
+        ("ScatterGatherExecutor.sql", ScatterGatherExecutor(sharded).sql),
+        ("ServingFrontend.sql", frontend.sql),
+        ("ServingFrontend.submit", frontend.submit),
+    ], frontend
+
+
+# ----------------------------------------------------------------------
+# Signature parity
+# ----------------------------------------------------------------------
+
+class TestSignatureParity:
+    def test_every_entry_point_accepts_options_and_kwargs(self, db):
+        entries, frontend = _entry_points(db)
+        try:
+            for name, fn in entries:
+                sig = inspect.signature(fn)
+                params = sig.parameters
+                assert "query" in params, name
+                assert "options" in params, name
+                assert params["options"].default is None, name
+                kinds = {p.kind for p in params.values()}
+                assert inspect.Parameter.VAR_KEYWORD in kinds, (
+                    f"{name} lost its **kwargs back-compat shim"
+                )
+        finally:
+            frontend.close()
+
+    def test_options_fields_are_the_canonical_set(self):
+        assert QUERY_OPTION_FIELDS == (
+            "seed",
+            "spec",
+            "technique",
+            "pilot_rate",
+            "deadline",
+            "budget",
+            "entry_rung",
+            "tenant",
+            "priority",
+            "trace",
+        )
+
+    def test_every_entry_point_rejects_unknown_kwargs(self, db):
+        entries, frontend = _entry_points(db)
+        try:
+            for name, fn in entries:
+                with pytest.raises(TypeError, match="unexpected query option"):
+                    fn(SQL, not_an_option=1)
+        finally:
+            frontend.close()
+
+
+# ----------------------------------------------------------------------
+# resolve_options semantics
+# ----------------------------------------------------------------------
+
+class TestResolveOptions:
+    def test_defaults_without_anything(self):
+        assert resolve_options() == QueryOptions()
+
+    def test_options_pass_through_unchanged(self):
+        opts = QueryOptions(seed=3, tenant="t1")
+        assert resolve_options(opts) is opts
+
+    def test_legacy_kwargs_override_options_and_warn(self):
+        opts = QueryOptions(seed=3, pilot_rate=0.05)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            merged = resolve_options(opts, {"seed": 9})
+        assert merged.seed == 9
+        assert merged.pilot_rate == 0.05  # untouched fields survive
+
+    def test_unknown_kwarg_raises_listing_valid_fields(self):
+        with pytest.raises(TypeError) as exc:
+            resolve_options(None, {"sede": 1}, entry="Database.sql()")
+        assert "sede" in str(exc.value)
+        assert "seed" in str(exc.value)  # the valid list is in the message
+
+    def test_non_queryoptions_object_raises(self):
+        with pytest.raises(TypeError, match="QueryOptions"):
+            resolve_options({"seed": 1})
+
+    def test_replace_returns_new_frozen_instance(self):
+        opts = QueryOptions(seed=1)
+        other = opts.replace(seed=2)
+        assert opts.seed == 1 and other.seed == 2
+        with pytest.raises(Exception):
+            opts.seed = 3  # frozen
+
+    def test_maybe_trace_yields_fresh_tracer_on_demand(self):
+        with maybe_trace(QueryOptions()) as tracer:
+            assert tracer is None
+        with maybe_trace(QueryOptions(trace=True)) as tracer:
+            assert tracer is not None
+
+
+# ----------------------------------------------------------------------
+# Deprecation shim round-trips: legacy kwargs == options object
+# ----------------------------------------------------------------------
+
+class TestDeprecationShims:
+    def test_database_sql_seed_shim(self, db):
+        with pytest.warns(DeprecationWarning):
+            legacy = db.sql(SPEC_SQL, seed=11)
+        modern = db.sql(SPEC_SQL, options=QueryOptions(seed=11))
+        assert legacy.values() == modern.values()
+
+    def test_ladder_spec_shim(self, db):
+        engine = ResilientEngine(db, warn_on_degrade=False)
+        spec = ErrorSpec(relative_error=0.10, confidence=0.95)
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.sql(SQL, spec=spec, seed=5)
+        modern = engine.sql(SQL, options=QueryOptions(spec=spec, seed=5))
+        assert legacy.values() == modern.values()
+
+    def test_sharded_executor_shim(self, db):
+        sharded = ShardedTable.from_table(db.table("events"), 4)
+        executor = ScatterGatherExecutor(sharded)
+        with pytest.warns(DeprecationWarning):
+            legacy = executor.sql(SQL, seed=3)
+        modern = executor.sql(SQL, options=QueryOptions(seed=3))
+        assert legacy.values() == modern.values()
+
+    def test_frontend_submit_shim(self, db):
+        frontend = ServingFrontend(db, workers=1, seed=0)
+        try:
+            with pytest.warns(DeprecationWarning):
+                legacy = frontend.sql(SQL, seed=2, timeout=60.0)
+            modern = frontend.sql(
+                SQL, options=QueryOptions(seed=2), timeout=60.0
+            )
+            assert legacy.values() == modern.values()
+        finally:
+            frontend.close()
+
+
+# ----------------------------------------------------------------------
+# The old serving-frontend hole: typo'd kwargs must fail at submit time
+# ----------------------------------------------------------------------
+
+class TestFrontendSubmitTime:
+    def test_unknown_kwarg_raises_before_enqueue(self, db):
+        frontend = ServingFrontend(db, workers=1, seed=0)
+        try:
+            with pytest.raises(TypeError, match="not_an_option"):
+                frontend.submit(SQL, not_an_option=True)
+            # Nothing was enqueued: the frontend still serves normally.
+            result = frontend.sql(SQL, timeout=60.0)
+            assert result.value("s") > 0
+        finally:
+            frontend.close()
+
+
+# ----------------------------------------------------------------------
+# Unified result envelope
+# ----------------------------------------------------------------------
+
+class TestResultEnvelope:
+    def _assert_envelope(self, result):
+        doc = result.to_dict()
+        assert tuple(doc.keys()) == ENVELOPE_KEYS
+        assert isinstance(doc["values"], dict)
+        assert isinstance(doc["ci"], dict)
+        assert isinstance(doc["provenance"], list)
+        assert isinstance(doc["stats"], dict)
+        # value()/ci() agree with the dict view
+        assert result.value("s") == pytest.approx(doc["values"]["s"][0])
+        low, high = result.ci("s", 0)
+        assert low <= result.value("s") <= high
+
+    def test_exact_result_envelope(self, db):
+        result = db.sql(SQL)
+        self._assert_envelope(result)
+        assert result.to_dict()["kind"] == "exact"
+        low, high = result.ci("s", 0)
+        assert low == high  # zero-width CI: no sampling error
+
+    def test_approximate_result_envelope(self, db):
+        result = db.sql(SPEC_SQL, options=QueryOptions(seed=1))
+        self._assert_envelope(result)
+
+    def test_ladder_result_envelope(self, db):
+        engine = ResilientEngine(db, warn_on_degrade=False)
+        result = engine.sql(SPEC_SQL, options=QueryOptions(seed=1))
+        self._assert_envelope(result)
+
+    def test_explain_result_envelope(self, db):
+        result = run_explain_analyze(
+            db, SPEC_SQL, options=QueryOptions(seed=1)
+        )
+        self._assert_envelope(result)
+        assert result.to_dict()["kind"] in ("exact", "approximate")
+
+    def test_envelopes_share_one_key_set_across_doors(self, db):
+        engine = ResilientEngine(db, warn_on_degrade=False)
+        sharded = ShardedTable.from_table(db.table("events"), 4)
+        executor = ScatterGatherExecutor(sharded)
+        docs = [
+            db.sql(SQL).to_dict(),
+            db.sql(SPEC_SQL, options=QueryOptions(seed=1)).to_dict(),
+            engine.sql(SPEC_SQL, options=QueryOptions(seed=1)).to_dict(),
+            executor.sql(SQL, options=QueryOptions(seed=1)).to_dict(),
+            run_explain_analyze(
+                db, SQL, options=QueryOptions(seed=1)
+            ).to_dict(),
+        ]
+        key_sets = {tuple(doc.keys()) for doc in docs}
+        assert key_sets == {ENVELOPE_KEYS}
